@@ -1,0 +1,36 @@
+// Shared helpers for the experiment benches: scaling-table printing with
+// fitted exponents next to theory predictions.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "sim/scaling.hpp"
+#include "sim/table.hpp"
+
+namespace sfs::bench {
+
+/// Prints a ScalingSeries as a table with a fitted-slope footer comparing
+/// against a theoretical exponent.
+inline void print_scaling(const std::string& title,
+                          const sim::ScalingSeries& series,
+                          const std::string& quantity, double theory_slope,
+                          const std::string& theory_label) {
+  sim::Table t(title, {"n", quantity, "stderr", "min", "max"});
+  for (const auto& pt : series.points) {
+    t.row()
+        .integer(pt.n)
+        .num(pt.summary.mean, 2)
+        .num(pt.summary.stderr_mean, 2)
+        .num(pt.summary.min, 1)
+        .num(pt.summary.max, 1);
+  }
+  t.print(std::cout);
+  std::cout << "fitted exponent: " << sim::format_double(series.fit.slope, 3)
+            << " +/- " << sim::format_double(series.fit.slope_stderr, 3)
+            << "  (R^2 " << sim::format_double(series.fit.r_squared, 3)
+            << ")   theory " << theory_label << ": "
+            << sim::format_double(theory_slope, 3) << "\n\n";
+}
+
+}  // namespace sfs::bench

@@ -1,0 +1,101 @@
+// P2P lookup scenario (the paper's motivating application): a
+// Gnutella-like unstructured overlay, modeled as a power-law configuration
+// graph, where a peer looks up content held by another peer.
+//
+//   ./p2p_lookup [n] [k] [seed]
+//
+// Compares three deployable strategies end to end:
+//   1. degree-greedy search (Adamic et al.)        — no replication
+//   2. random-walk search                          — no replication
+//   3. percolation search (Sarshar et al.)         — with replication
+#include <cstdlib>
+#include <iostream>
+
+#include "gen/config_model.hpp"
+#include "graph/algorithms.hpp"
+#include "search/percolation.hpp"
+#include "search/runner.hpp"
+#include "search/strong_algorithms.hpp"
+#include "search/weak_algorithms.hpp"
+#include "sim/table.hpp"
+#include "stats/summary.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t n =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
+  const double k = argc > 2 ? std::strtod(argv[2], nullptr) : 2.3;
+  const std::uint64_t seed =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 11;
+
+  std::cout << "p2p_lookup: power-law overlay, n=" << n << ", exponent k="
+            << k << "\n";
+
+  sfs::rng::Rng rng(seed);
+  const auto full = sfs::gen::power_law_configuration_graph(
+      n, sfs::gen::PowerLawSequenceParams{k, 1, 0},
+      sfs::gen::ConfigModelOptions{false}, rng);
+  const auto g = sfs::graph::largest_component(full).graph;
+  std::cout << "overlay (largest component): " << g.num_vertices()
+            << " peers, " << g.num_edges() << " links\n\n";
+
+  constexpr std::size_t kLookups = 60;
+  sfs::stats::Accumulator greedy_cost;
+  sfs::stats::Accumulator walk_cost;
+  sfs::stats::Accumulator perc_cost;
+  std::size_t walk_found = 0;
+  std::size_t perc_found = 0;
+
+  for (std::uint64_t rep = 0; rep < kLookups; ++rep) {
+    sfs::rng::Rng lookup_rng(sfs::rng::derive_seed(seed, rep));
+    const auto owner = static_cast<sfs::graph::VertexId>(
+        lookup_rng.uniform_index(g.num_vertices()));
+    auto requester = owner;
+    while (requester == owner) {
+      requester = static_cast<sfs::graph::VertexId>(
+          lookup_rng.uniform_index(g.num_vertices()));
+    }
+
+    auto greedy = sfs::search::make_degree_greedy_strong();
+    const auto gr =
+        sfs::search::run_strong(g, requester, owner, *greedy, lookup_rng);
+    greedy_cost.add(static_cast<double>(gr.requests));
+
+    sfs::search::RandomWalkWeak walk;
+    const auto wr = sfs::search::run_weak(
+        g, requester, owner, walk, lookup_rng,
+        sfs::search::RunBudget{.max_raw_requests = 50 * n});
+    walk_cost.add(static_cast<double>(wr.raw_requests));
+    if (wr.found) ++walk_found;
+
+    const auto pr = sfs::search::percolation_search(
+        g, owner, requester, sfs::search::PercolationParams{60, 15, 0.12},
+        lookup_rng);
+    perc_cost.add(static_cast<double>(pr.messages));
+    if (pr.found) ++perc_found;
+  }
+
+  sfs::sim::Table t("lookup strategies over " + std::to_string(kLookups) +
+                        " random (owner, requester) pairs",
+                    {"strategy", "mean cost", "unit", "success"});
+  t.row()
+      .cell("degree-greedy (Adamic)")
+      .num(greedy_cost.mean(), 0)
+      .cell("peers visited")
+      .num(1.0, 2);
+  t.row()
+      .cell("random walk")
+      .num(walk_cost.mean(), 0)
+      .cell("hops")
+      .num(static_cast<double>(walk_found) / kLookups, 2);
+  t.row()
+      .cell("percolation search (Sarshar)")
+      .num(perc_cost.mean(), 0)
+      .cell("messages")
+      .num(static_cast<double>(perc_found) / kLookups, 2);
+  t.print(std::cout);
+
+  std::cout << "\nTakeaway: high-degree greedy beats blind walking "
+               "(n^{2(1-2/k)} vs n^{3(1-2/k)}), and replication + "
+               "percolation trades storage for per-query traffic.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// The probabilistic vertex-equivalence machinery of Section 2.
+//
+// Definition 2 (paper): vertices V ⊂ [[1,n]] are equivalent conditional on
+// an event E if for every permutation σ of V, the random graphs G and σ(G)
+// have the same distribution conditional on E.
+//
+// Lemma 2 instantiates this for the Móri tree with V = [[a+1, b]] and
+//   E_{a,b} = ⋂_{a<k≤b} { N_k ≤ a }          (N_k = father of vertex k),
+// and Lemma 3 shows P(E_{a,b}) ≥ e^{-(1-p)} for b = a + ⌊√(a-1)⌋.
+//
+// This header provides: the event test, Monte-Carlo estimation of P(E_{a,b})
+// (for Móri and for the analogous untouched-window event in Cooper–Frieze),
+// and an empirical exchangeability check that validates Lemma 2 by comparing
+// per-position feature distributions of window vertices conditional on E.
+//
+// All `a`, `b`, `k` in this API are PAPER vertex ids (1-based); internal
+// graph ids are paper ids minus one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gen/cooper_frieze.hpp"
+#include "gen/mori.hpp"
+#include "rng/random.hpp"
+
+namespace sfs::core {
+
+/// True iff E_{a,b} holds for the given recursive-tree fathers (0-based
+/// internal ids as returned by gen::fathers / MoriProcess::all_fathers):
+/// every paper vertex k in (a, b] has father with paper id <= a.
+/// Requires 2 <= a <= b <= #vertices.
+[[nodiscard]] bool event_holds(const std::vector<graph::VertexId>& fathers,
+                               std::size_t a, std::size_t b);
+
+/// Monte-Carlo estimate of P(E_{a,b}) in the Móri tree with parameter p,
+/// over `reps` independently grown trees of b vertices.
+struct EventEstimate {
+  double probability = 0.0;
+  double stderr_est = 0.0;  // binomial standard error
+  std::size_t reps = 0;
+  std::size_t hits = 0;
+};
+
+[[nodiscard]] EventEstimate estimate_event_probability(
+    double p, std::size_t a, std::size_t b, std::size_t reps,
+    std::uint64_t seed);
+
+/// Per-position empirical means of a window-vertex feature in the Móri tree
+/// grown to t vertices, conditional on E_{a,b} (rejection sampling).
+/// Under Lemma 2 the conditional distribution is exchangeable over the
+/// window, so all positions must share the same marginal; tests and bench
+/// E10 assert the means agree within noise.
+struct WindowFeatureStats {
+  /// means[i] = conditional mean feature of paper vertex a+1+i.
+  std::vector<double> mean_final_indegree;
+  /// P(vertex is a leaf of the final tree | E).
+  std::vector<double> leaf_probability;
+  std::size_t accepted = 0;  // trees satisfying E
+  std::size_t attempted = 0;
+};
+
+[[nodiscard]] WindowFeatureStats window_feature_stats(
+    double p, std::size_t a, std::size_t b, std::size_t t, std::size_t reps,
+    std::uint64_t seed);
+
+/// Cooper–Frieze analogue of E_{a,b}: between the births of the a-th and
+/// b-th vertices, every edge endpoint chosen by the process (terminal
+/// vertices and OLD initial vertices) lies among the first `a` born
+/// vertices. Conditional on this event the window vertices received no
+/// edges and form the equivalent set used in Theorem 2's proof sketch.
+[[nodiscard]] EventEstimate estimate_cf_event_probability(
+    const gen::CooperFriezeParams& params, std::size_t a, std::size_t b,
+    std::size_t reps, std::uint64_t seed);
+
+}  // namespace sfs::core

@@ -1,0 +1,35 @@
+#include "core/lower_bound.hpp"
+
+#include "core/theory.hpp"
+
+namespace sfs::core {
+
+LowerBoundEstimate mori_lower_bound(double p, std::size_t n, std::size_t reps,
+                                    std::uint64_t seed) {
+  SFS_REQUIRE(n >= 3, "need n >= 3 so that a = n-1 >= 2");
+  LowerBoundEstimate est;
+  est.a = n - 1;
+  est.b = theory::lemma3_window_end(est.a);
+  est.window_size = est.b - est.a;
+  est.event = estimate_event_probability(p, est.a, est.b, reps, seed);
+  est.bound = theory::lemma1_bound(est.window_size, est.event.probability);
+  est.theory_floor =
+      theory::lemma1_bound(est.window_size, theory::lemma3_bound(p));
+  return est;
+}
+
+LowerBoundEstimate cooper_frieze_lower_bound(
+    const gen::CooperFriezeParams& params, std::size_t n, std::size_t reps,
+    std::uint64_t seed) {
+  SFS_REQUIRE(n >= 3, "need n >= 3 so that a = n-1 >= 2");
+  LowerBoundEstimate est;
+  est.a = n - 1;
+  est.b = theory::lemma3_window_end(est.a);
+  est.window_size = est.b - est.a;
+  est.event = estimate_cf_event_probability(params, est.a, est.b, reps, seed);
+  est.bound = theory::lemma1_bound(est.window_size, est.event.probability);
+  est.theory_floor = 0.0;  // the paper gives no closed form for CF
+  return est;
+}
+
+}  // namespace sfs::core

@@ -1,0 +1,36 @@
+// End-to-end lower-bound estimation: combines Lemma 2's equivalent window,
+// the Monte-Carlo estimate of P(E_{a,b}) (Lemma 3), and Lemma 1's
+// |V|·P(E)/2 bound into the quantity Theorem 1 compares against measured
+// search cost. Used by bench E10 and the integration tests.
+#pragma once
+
+#include <cstdint>
+
+#include "core/equivalence.hpp"
+#include "gen/cooper_frieze.hpp"
+
+namespace sfs::core {
+
+struct LowerBoundEstimate {
+  std::size_t a = 0;            // window start (paper id)
+  std::size_t b = 0;            // window end (paper id)
+  std::size_t window_size = 0;  // |V| = b - a
+  EventEstimate event;          // P̂(E_{a,b})
+  double bound = 0.0;           // |V| * P̂ / 2 (Lemma 1)
+  double theory_floor = 0.0;    // |V| * e^{-(1-p)} / 2 for Móri, 0 for CF
+};
+
+/// Theorem 1 instantiation for target vertex n (paper id): the window is
+/// [[n, b]] with a = n - 1 and b = lemma3_window_end(a), so the target is
+/// one of the ~sqrt(n) equivalent vertices. Requires n >= 3.
+[[nodiscard]] LowerBoundEstimate mori_lower_bound(double p, std::size_t n,
+                                                  std::size_t reps,
+                                                  std::uint64_t seed);
+
+/// Theorem 2 instantiation for the Cooper–Frieze model: window of size
+/// floor(sqrt(a-1)) after the a-th born vertex, with a = n - 1.
+[[nodiscard]] LowerBoundEstimate cooper_frieze_lower_bound(
+    const gen::CooperFriezeParams& params, std::size_t n, std::size_t reps,
+    std::uint64_t seed);
+
+}  // namespace sfs::core

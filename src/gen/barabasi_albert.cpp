@@ -1,0 +1,53 @@
+#include "gen/barabasi_albert.hpp"
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+
+namespace sfs::gen {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::VertexId;
+
+Graph barabasi_albert(std::size_t n, const BarabasiAlbertParams& params,
+                      rng::Rng& rng) {
+  SFS_REQUIRE(n >= 1, "need at least one vertex");
+  SFS_REQUIRE(params.m >= 1, "BA needs m >= 1");
+
+  GraphBuilder b(n);
+  b.reserve_edges(1 + (n - 1) * params.m);
+  // Total-degree bag: one entry per edge endpoint.
+  std::vector<VertexId> bag;
+  bag.reserve(2 * (1 + (n - 1) * params.m));
+
+  // Seed: vertex 0 with a self-loop (degree 2).
+  b.add_edge(0, 0);
+  bag.push_back(0);
+  bag.push_back(0);
+
+  std::vector<VertexId> targets;
+  for (VertexId v = 1; v < n; ++v) {
+    targets.clear();
+    const std::size_t want = std::min<std::size_t>(params.m, v);
+    // With distinct_targets we can ask for at most v distinct older
+    // vertices; resample duplicates (degree mass >> m makes retries rare).
+    while (targets.size() < want) {
+      const VertexId t =
+          bag[static_cast<std::size_t>(rng.uniform_index(bag.size()))];
+      if (params.distinct_targets &&
+          std::find(targets.begin(), targets.end(), t) != targets.end()) {
+        continue;
+      }
+      targets.push_back(t);
+    }
+    for (const VertexId t : targets) {
+      b.add_edge(v, t);
+      bag.push_back(v);
+      bag.push_back(t);
+    }
+  }
+  return b.build();
+}
+
+}  // namespace sfs::gen

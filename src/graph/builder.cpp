@@ -1,0 +1,58 @@
+#include "graph/builder.hpp"
+
+#include <utility>
+
+namespace sfs::graph {
+
+VertexId GraphBuilder::add_vertex() {
+  SFS_REQUIRE(num_vertices_ < kNoVertex, "vertex count overflow");
+  return static_cast<VertexId>(num_vertices_++);
+}
+
+VertexId GraphBuilder::add_vertices(std::size_t count) {
+  const auto first = static_cast<VertexId>(num_vertices_);
+  SFS_REQUIRE(num_vertices_ + count < kNoVertex, "vertex count overflow");
+  num_vertices_ += count;
+  return first;
+}
+
+EdgeId GraphBuilder::add_edge(VertexId tail, VertexId head) {
+  SFS_REQUIRE(tail < num_vertices_, "edge tail does not exist");
+  SFS_REQUIRE(head < num_vertices_, "edge head does not exist");
+  SFS_REQUIRE(edges_.size() < kNoEdge, "edge count overflow");
+  edges_.push_back(Edge{tail, head});
+  return static_cast<EdgeId>(edges_.size() - 1);
+}
+
+Graph GraphBuilder::build() {
+  Graph g;
+  const std::size_t n = num_vertices_;
+  g.edges_ = std::move(edges_);
+  edges_.clear();
+  num_vertices_ = 0;
+
+  g.in_degree_.assign(n, 0);
+  g.out_degree_.assign(n, 0);
+  // Counting pass: undirected degree per vertex (loops twice).
+  std::vector<std::size_t> deg(n, 0);
+  for (const Edge& e : g.edges_) {
+    ++deg[e.tail];
+    ++deg[e.head];
+    ++g.out_degree_[e.tail];
+    ++g.in_degree_[e.head];
+  }
+  g.offsets_.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) g.offsets_[v + 1] = g.offsets_[v] + deg[v];
+  g.incidence_.assign(g.offsets_[n], kNoEdge);
+
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (std::size_t i = 0; i < g.edges_.size(); ++i) {
+    const auto id = static_cast<EdgeId>(i);
+    const Edge& e = g.edges_[i];
+    g.incidence_[cursor[e.tail]++] = id;
+    g.incidence_[cursor[e.head]++] = id;  // self-loop: listed twice
+  }
+  return g;
+}
+
+}  // namespace sfs::graph

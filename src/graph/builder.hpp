@@ -1,0 +1,52 @@
+// Mutable construction interface for Graph.
+//
+// Generators append vertices and directed edges in construction order and
+// finalize with build(), which packs the undirected incidence structure into
+// CSR form. Edge ids are assigned in insertion order, which matters: the
+// evolving-graph models and the equivalence machinery rely on "edge id order
+// == time order".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sfs::graph {
+
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Starts with `n` isolated vertices.
+  explicit GraphBuilder(std::size_t n) : num_vertices_(n) {}
+
+  /// Pre-allocates for `m` edges.
+  void reserve_edges(std::size_t m) { edges_.reserve(m); }
+
+  /// Appends an isolated vertex; returns its id.
+  VertexId add_vertex();
+
+  /// Appends `count` isolated vertices; returns the id of the first.
+  VertexId add_vertices(std::size_t count);
+
+  /// Appends the directed edge tail -> head; returns its id.
+  /// Both endpoints must already exist. Parallel edges and loops allowed.
+  EdgeId add_edge(VertexId tail, VertexId head);
+
+  [[nodiscard]] std::size_t num_vertices() const noexcept {
+    return num_vertices_;
+  }
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    return edges_.size();
+  }
+
+  /// Finalizes into an immutable Graph. The builder is left empty.
+  [[nodiscard]] Graph build();
+
+ private:
+  std::size_t num_vertices_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace sfs::graph

@@ -1,0 +1,67 @@
+#include "graph/degree.hpp"
+
+#include <algorithm>
+
+namespace sfs::graph {
+
+std::size_t degree_of(const Graph& g, VertexId v, DegreeKind kind) {
+  switch (kind) {
+    case DegreeKind::kUndirected: return g.degree(v);
+    case DegreeKind::kIn: return g.in_degree(v);
+    case DegreeKind::kOut: return g.out_degree(v);
+    case DegreeKind::kTotal: return g.in_degree(v) + g.out_degree(v);
+  }
+  SFS_CHECK(false, "unknown DegreeKind");
+  return 0;
+}
+
+std::vector<std::size_t> degree_sequence(const Graph& g, DegreeKind kind) {
+  std::vector<std::size_t> seq(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) seq[v] = degree_of(g, v, kind);
+  return seq;
+}
+
+std::vector<std::size_t> degree_histogram(const Graph& g, DegreeKind kind) {
+  const auto seq = degree_sequence(g, kind);
+  const std::size_t dmax = seq.empty() ? 0 : *std::max_element(seq.begin(),
+                                                               seq.end());
+  std::vector<std::size_t> hist(dmax + 1, 0);
+  for (const std::size_t d : seq) ++hist[d];
+  return hist;
+}
+
+std::vector<std::pair<std::size_t, double>> degree_ccdf(const Graph& g,
+                                                        DegreeKind kind) {
+  const auto hist = degree_histogram(g, kind);
+  const double n = static_cast<double>(g.num_vertices());
+  std::vector<std::pair<std::size_t, double>> ccdf;
+  if (n == 0.0) return ccdf;
+  // Suffix sums over the histogram, reported at observed degrees >= 1.
+  std::size_t at_least = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> rev;  // (d, count >= d)
+  for (std::size_t d = hist.size(); d-- > 1;) {
+    at_least += hist[d];
+    if (hist[d] > 0) rev.emplace_back(d, at_least);
+  }
+  for (auto it = rev.rbegin(); it != rev.rend(); ++it) {
+    ccdf.emplace_back(it->first, static_cast<double>(it->second) / n);
+  }
+  return ccdf;
+}
+
+std::size_t max_degree(const Graph& g, DegreeKind kind) {
+  std::size_t best = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    best = std::max(best, degree_of(g, v, kind));
+  return best;
+}
+
+double mean_degree(const Graph& g, DegreeKind kind) {
+  if (g.num_vertices() == 0) return 0.0;
+  double sum = 0.0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    sum += static_cast<double>(degree_of(g, v, kind));
+  return sum / static_cast<double>(g.num_vertices());
+}
+
+}  // namespace sfs::graph

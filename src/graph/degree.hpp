@@ -1,0 +1,46 @@
+// Degree statistics: distributions, CCDFs, extreme degrees.
+//
+// These feed experiment E5 (Móri maximum degree Θ(t^p)) and E6 (power-law
+// degree distributions), and the power-law fitting in stats/powerlaw.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sfs::graph {
+
+/// Which degree notion to aggregate.
+enum class DegreeKind {
+  kUndirected,  // incidence degree (loops count twice)
+  kIn,          // construction indegree
+  kOut,         // construction outdegree
+  kTotal,       // in + out
+};
+
+/// The degree of `v` under `kind`.
+[[nodiscard]] std::size_t degree_of(const Graph& g, VertexId v,
+                                    DegreeKind kind);
+
+/// All degrees, indexed by vertex.
+[[nodiscard]] std::vector<std::size_t> degree_sequence(const Graph& g,
+                                                       DegreeKind kind);
+
+/// histogram[d] = number of vertices with degree exactly d.
+[[nodiscard]] std::vector<std::size_t> degree_histogram(const Graph& g,
+                                                        DegreeKind kind);
+
+/// Pairs (d, P(D >= d)) for every observed degree value d >= 1, sorted by d.
+/// The empirical complementary CDF is the standard object for judging
+/// power-law tails on a log-log plot.
+[[nodiscard]] std::vector<std::pair<std::size_t, double>> degree_ccdf(
+    const Graph& g, DegreeKind kind);
+
+/// Maximum degree under `kind`.
+[[nodiscard]] std::size_t max_degree(const Graph& g, DegreeKind kind);
+
+/// Mean degree under `kind`.
+[[nodiscard]] double mean_degree(const Graph& g, DegreeKind kind);
+
+}  // namespace sfs::graph

@@ -1,0 +1,24 @@
+#include "graph/graph.hpp"
+
+namespace sfs::graph {
+
+std::vector<VertexId> Graph::neighbors(VertexId v) const {
+  const auto inc = incident(v);
+  std::vector<VertexId> result;
+  result.reserve(inc.size());
+  for (const EdgeId e : inc) result.push_back(other_endpoint(e, v));
+  return result;
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const {
+  SFS_REQUIRE(u < num_vertices() && v < num_vertices(),
+              "vertex id out of range");
+  const VertexId probe = degree(u) <= degree(v) ? u : v;
+  const VertexId other = probe == u ? v : u;
+  for (const EdgeId e : incident(probe)) {
+    if (other_endpoint(e, probe) == other) return true;
+  }
+  return false;
+}
+
+}  // namespace sfs::graph

@@ -1,0 +1,123 @@
+// Immutable multigraph with directed edge origins and undirected incidence.
+//
+// All graph models in the paper are *constructed* as oriented graphs (each
+// new vertex emits out-edges), but "searching always takes place in the
+// corresponding unoriented graph". Graph therefore stores, for every edge,
+// its construction orientation (tail -> head), and exposes an undirected
+// incidence structure (CSR) that the search layer and all algorithms use.
+//
+// Multigraph semantics: parallel edges and self-loops are allowed — the
+// merged Móri graph G^{(m)} produces both. A self-loop appears twice in the
+// incidence list of its vertex and contributes 2 to its degree (standard
+// multigraph convention).
+//
+// Vertex ids are 0-based std::uint32_t. The paper numbers vertices 1..n;
+// the paper's vertex t is id t-1 here (see DESIGN.md §7).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "base/check.hpp"
+
+namespace sfs::graph {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+/// Sentinel for "no vertex" (e.g. BFS parent of the root).
+inline constexpr VertexId kNoVertex = static_cast<VertexId>(-1);
+/// Sentinel for "no edge".
+inline constexpr EdgeId kNoEdge = static_cast<EdgeId>(-1);
+
+/// A directed edge as constructed by a generator: tail emitted the edge,
+/// head received it (head's indegree grows).
+struct Edge {
+  VertexId tail = kNoVertex;
+  VertexId head = kNoVertex;
+
+  [[nodiscard]] bool is_loop() const noexcept { return tail == head; }
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class GraphBuilder;
+
+/// Immutable multigraph. Construct through GraphBuilder.
+class Graph {
+ public:
+  Graph() = default;
+
+  [[nodiscard]] std::size_t num_vertices() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    return edges_.size();
+  }
+
+  /// The directed edge record for edge id `e`.
+  [[nodiscard]] const Edge& edge(EdgeId e) const {
+    SFS_REQUIRE(e < edges_.size(), "edge id out of range");
+    return edges_[e];
+  }
+
+  /// Undirected incidence list of `v`: every edge id with `v` as an
+  /// endpoint, self-loops listed twice. Order: by edge id, tail occurrences
+  /// and head occurrences interleaved by construction order.
+  [[nodiscard]] std::span<const EdgeId> incident(VertexId v) const {
+    SFS_REQUIRE(v < num_vertices(), "vertex id out of range");
+    return {incidence_.data() + offsets_[v],
+            incidence_.data() + offsets_[v + 1]};
+  }
+
+  /// Undirected degree (self-loops count twice).
+  [[nodiscard]] std::size_t degree(VertexId v) const {
+    SFS_REQUIRE(v < num_vertices(), "vertex id out of range");
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Indegree under the construction orientation.
+  [[nodiscard]] std::size_t in_degree(VertexId v) const {
+    SFS_REQUIRE(v < num_vertices(), "vertex id out of range");
+    return in_degree_[v];
+  }
+
+  /// Outdegree under the construction orientation.
+  [[nodiscard]] std::size_t out_degree(VertexId v) const {
+    SFS_REQUIRE(v < num_vertices(), "vertex id out of range");
+    return out_degree_[v];
+  }
+
+  /// The endpoint of `e` opposite to `v`. For a self-loop returns `v`.
+  /// Requires that `v` is an endpoint of `e`.
+  [[nodiscard]] VertexId other_endpoint(EdgeId e, VertexId v) const {
+    const Edge& ed = edge(e);
+    SFS_REQUIRE(ed.tail == v || ed.head == v, "v is not an endpoint of e");
+    return ed.tail == v ? ed.head : ed.tail;
+  }
+
+  /// Materializes the (multiset of) neighbors of `v` in the unoriented
+  /// graph; a self-loop contributes `v` twice, parallel edges repeat the
+  /// neighbor.
+  [[nodiscard]] std::vector<VertexId> neighbors(VertexId v) const;
+
+  /// True if some edge joins `u` and `v` in the unoriented graph
+  /// (O(min(deg u, deg v))).
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const;
+
+  /// All edge records (construction order).
+  [[nodiscard]] std::span<const Edge> edges() const noexcept {
+    return edges_;
+  }
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<Edge> edges_;
+  std::vector<std::size_t> offsets_;    // CSR offsets, size n+1
+  std::vector<EdgeId> incidence_;       // CSR payload, size 2m
+  std::vector<std::uint32_t> in_degree_;
+  std::vector<std::uint32_t> out_degree_;
+};
+
+}  // namespace sfs::graph

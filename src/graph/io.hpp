@@ -1,0 +1,35 @@
+// Plain-text edge-list serialization.
+//
+// Format (line-oriented, '#' comments allowed):
+//   sfsearch-graph v1
+//   <num_vertices> <num_edges>
+//   <tail> <head>          # one line per edge, construction order, 0-based
+//
+// Round-trip is exact: edge order and orientation are preserved, so a
+// serialized evolving graph replays identically through the equivalence and
+// search machinery.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace sfs::graph {
+
+/// Writes `g` to `out` in the sfsearch-graph v1 format.
+void write_edge_list(std::ostream& out, const Graph& g);
+
+/// Parses a graph from `in`; throws std::invalid_argument on malformed
+/// input.
+[[nodiscard]] Graph read_edge_list(std::istream& in);
+
+/// Convenience: serialize to / parse from a string.
+[[nodiscard]] std::string to_string(const Graph& g);
+[[nodiscard]] Graph from_string(const std::string& text);
+
+/// File helpers; throw std::runtime_error if the file cannot be opened.
+void save(const std::string& path, const Graph& g);
+[[nodiscard]] Graph load(const std::string& path);
+
+}  // namespace sfs::graph

@@ -1,0 +1,128 @@
+#include "graph/structure.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sfs::graph {
+
+std::vector<VertexId> CoreDecomposition::core_members(std::uint32_t k) const {
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < core_number.size(); ++v) {
+    if (core_number[v] >= k) out.push_back(v);
+  }
+  return out;
+}
+
+CoreDecomposition core_decomposition(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  CoreDecomposition out;
+  out.core_number.assign(n, 0);
+  if (n == 0) return out;
+
+  // Bucket sort vertices by (remaining) degree.
+  std::vector<std::uint32_t> deg(n);
+  std::uint32_t max_deg = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    deg[v] = static_cast<std::uint32_t>(g.degree(v));
+    max_deg = std::max(max_deg, deg[v]);
+  }
+  std::vector<std::size_t> bucket_start(max_deg + 2, 0);
+  for (VertexId v = 0; v < n; ++v) ++bucket_start[deg[v] + 1];
+  for (std::size_t d = 1; d < bucket_start.size(); ++d)
+    bucket_start[d] += bucket_start[d - 1];
+  std::vector<VertexId> order(n);
+  std::vector<std::size_t> pos(n);
+  {
+    auto cursor = bucket_start;
+    for (VertexId v = 0; v < n; ++v) {
+      pos[v] = cursor[deg[v]]++;
+      order[pos[v]] = v;
+    }
+  }
+  // bucket_start[d] = index of the first vertex with remaining degree >= d.
+  // Peel in nondecreasing degree order.
+  for (std::size_t i = 0; i < n; ++i) {
+    const VertexId v = order[i];
+    out.core_number[v] = deg[v];
+    out.degeneracy = std::max(out.degeneracy, deg[v]);
+    for (const EdgeId e : g.incident(v)) {
+      const VertexId u = g.other_endpoint(e, v);
+      if (deg[u] > deg[v]) {
+        // Move u one bucket down: swap it with the first vertex of its
+        // current bucket, then shrink the bucket boundary.
+        const std::size_t du = deg[u];
+        const std::size_t pu = pos[u];
+        const std::size_t pw = bucket_start[du];
+        const VertexId w = order[pw];
+        if (u != w) {
+          std::swap(order[pu], order[pw]);
+          pos[u] = pw;
+          pos[w] = pu;
+        }
+        ++bucket_start[du];
+        --deg[u];
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys) {
+  const auto n = static_cast<double>(xs.size());
+  if (xs.size() < 2) return 0.0;
+  double mx = 0.0;
+  double my = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    mx += xs[i];
+    my += ys[i];
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace
+
+double degree_assortativity(const Graph& g) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  xs.reserve(2 * g.num_edges());
+  ys.reserve(2 * g.num_edges());
+  for (const Edge& e : g.edges()) {
+    if (e.is_loop()) continue;
+    const auto dt = static_cast<double>(g.degree(e.tail));
+    const auto dh = static_cast<double>(g.degree(e.head));
+    xs.push_back(dt);
+    ys.push_back(dh);
+    xs.push_back(dh);
+    ys.push_back(dt);
+  }
+  return pearson(xs, ys);
+}
+
+double age_degree_correlation(const Graph& g) {
+  std::vector<double> age;
+  std::vector<double> deg;
+  age.reserve(g.num_vertices());
+  deg.reserve(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    age.push_back(static_cast<double>(v));
+    deg.push_back(static_cast<double>(g.degree(v)));
+  }
+  return pearson(age, deg);
+}
+
+}  // namespace sfs::graph

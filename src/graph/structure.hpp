@@ -1,0 +1,45 @@
+// Structural analysis beyond distances: k-core decomposition and degree
+// assortativity.
+//
+// The k-core machinery backs the percolation-search story (E11): Sarshar
+// et al.'s protocol works because the high-degree core of a power-law
+// graph percolates at tiny edge probabilities, and random walks find that
+// core quickly. Assortativity quantifies the degree-age correlation
+// footprint that distinguishes evolving models from configuration models.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sfs::graph {
+
+/// Core number per vertex: the largest k such that the vertex survives in
+/// the k-core (maximal subgraph of minimum degree >= k). Self-loops count
+/// 2 toward degree, parallel edges count individually (multigraph
+/// convention, consistent with Graph::degree).
+struct CoreDecomposition {
+  std::vector<std::uint32_t> core_number;
+  std::uint32_t degeneracy = 0;  // max core number
+
+  /// Vertices with core number >= k.
+  [[nodiscard]] std::vector<VertexId> core_members(std::uint32_t k) const;
+};
+
+/// Batagelj–Zaveršnik bucket peeling, O(n + m).
+[[nodiscard]] CoreDecomposition core_decomposition(const Graph& g);
+
+/// Pearson degree assortativity over the unoriented edges (loops skipped;
+/// each edge contributes its two endpoint degrees once in each order, the
+/// standard Newman convention). Returns 0 for degenerate graphs (fewer
+/// than 2 non-loop edges or zero degree variance).
+[[nodiscard]] double degree_assortativity(const Graph& g);
+
+/// Pearson correlation between vertex id (age rank) and degree — the
+/// age/degree correlation that makes evolving graphs behave differently
+/// from configuration models with the same degrees. Returns 0 when either
+/// variance vanishes.
+[[nodiscard]] double age_degree_correlation(const Graph& g);
+
+}  // namespace sfs::graph

@@ -1,0 +1,159 @@
+#include "rng/discrete.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "base/check.hpp"
+
+namespace sfs::rng {
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  SFS_REQUIRE(n > 0, "AliasTable needs at least one outcome");
+  double total = 0.0;
+  for (const double w : weights) {
+    SFS_REQUIRE(w >= 0.0 && std::isfinite(w), "weights must be finite, >= 0");
+    total += w;
+  }
+  SFS_REQUIRE(total > 0.0, "AliasTable needs a positive total weight");
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Scaled probabilities: mean 1.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i)
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers are numerically 1.
+  for (const std::uint32_t i : large) prob_[i] = 1.0;
+  for (const std::uint32_t i : small) prob_[i] = 1.0;
+}
+
+std::size_t AliasTable::sample(Rng& rng) const {
+  SFS_REQUIRE(!empty(), "sampling from an empty AliasTable");
+  const auto slot = static_cast<std::size_t>(rng.uniform_index(prob_.size()));
+  return rng.uniform() < prob_[slot] ? slot : alias_[slot];
+}
+
+CdfSampler::CdfSampler(std::span<const double> weights) {
+  SFS_REQUIRE(!weights.empty(), "CdfSampler needs at least one outcome");
+  cdf_.reserve(weights.size());
+  double acc = 0.0;
+  for (const double w : weights) {
+    SFS_REQUIRE(w >= 0.0 && std::isfinite(w), "weights must be finite, >= 0");
+    acc += w;
+    cdf_.push_back(acc);
+  }
+  SFS_REQUIRE(acc > 0.0, "CdfSampler needs a positive total weight");
+}
+
+double CdfSampler::probability(std::size_t i) const {
+  SFS_REQUIRE(i < cdf_.size(), "outcome index out of range");
+  const double lo = i == 0 ? 0.0 : cdf_[i - 1];
+  return (cdf_[i] - lo) / total_weight();
+}
+
+std::size_t CdfSampler::sample(Rng& rng) const {
+  SFS_REQUIRE(!empty(), "sampling from an empty CdfSampler");
+  const double x = rng.uniform() * total_weight();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), x);
+  return static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - cdf_.begin(),
+                               static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+}
+
+FenwickSampler::FenwickSampler(std::size_t n) : tree_(n + 1, 0.0), n_(n) {}
+
+double FenwickSampler::prefix_sum(std::size_t i) const {
+  double s = 0.0;
+  for (; i > 0; i -= i & (~i + 1)) s += tree_[i];
+  return s;
+}
+
+double FenwickSampler::weight(std::size_t i) const {
+  SFS_REQUIRE(i < n_, "outcome index out of range");
+  return prefix_sum(i + 1) - prefix_sum(i);
+}
+
+void FenwickSampler::add(std::size_t i, double delta) {
+  SFS_REQUIRE(i < n_, "outcome index out of range");
+  for (std::size_t j = i + 1; j <= n_; j += j & (~j + 1)) tree_[j] += delta;
+  total_ += delta;
+  SFS_CHECK(total_ > -1e-9, "total weight became negative");
+}
+
+void FenwickSampler::set_weight(std::size_t i, double w) {
+  SFS_REQUIRE(w >= 0.0 && std::isfinite(w), "weight must be finite, >= 0");
+  add(i, w - weight(i));
+}
+
+std::size_t FenwickSampler::push_back(double w) {
+  SFS_REQUIRE(w >= 0.0 && std::isfinite(w), "weight must be finite, >= 0");
+  // The Fenwick array is 1-based; ensure the index-0 sentinel exists (the
+  // default constructor leaves the vector empty).
+  if (tree_.empty()) tree_.push_back(0.0);
+  // Grow the tree by one leaf. Rebuilding the affected path keeps push_back
+  // amortized O(log n): appending leaf n+1 only requires its own node, whose
+  // value is the sum of the trailing block it covers.
+  ++n_;
+  tree_.push_back(0.0);
+  const std::size_t j = n_;  // 1-based position of the new leaf
+  const std::size_t block = j & (~j + 1);
+  // Node j covers leaves (j - block, j]; the new leaf contributes w and the
+  // previously existing leaves contribute prefix(j-1) - prefix(j-block).
+  const double below = prefix_sum(j - 1) - prefix_sum(j - block);
+  tree_[j] = below + w;
+  total_ += w;
+  return n_ - 1;
+}
+
+std::size_t FenwickSampler::sample(Rng& rng) const {
+  SFS_REQUIRE(total_ > 0.0, "sampling from an empty FenwickSampler");
+  double x = rng.uniform() * total_;
+  // Standard Fenwick descend: find smallest i with prefix_sum(i) > x.
+  std::size_t pos = 0;
+  std::size_t mask = std::bit_floor(n_);
+  for (; mask > 0; mask >>= 1) {
+    const std::size_t next = pos + mask;
+    if (next <= n_ && tree_[next] <= x) {
+      x -= tree_[next];
+      pos = next;
+    }
+  }
+  // pos is the count of leaves whose cumulative weight is <= x.
+  return std::min(pos, n_ - 1);
+}
+
+std::uint32_t RepeatArray::sample(Rng& rng) const {
+  SFS_REQUIRE(!items_.empty(), "sampling from an empty RepeatArray");
+  return items_[static_cast<std::size_t>(rng.uniform_index(items_.size()))];
+}
+
+std::size_t RepeatArray::count(std::uint32_t id) const noexcept {
+  return static_cast<std::size_t>(std::count(items_.begin(), items_.end(),
+                                             id));
+}
+
+}  // namespace sfs::rng

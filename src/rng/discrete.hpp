@@ -1,0 +1,122 @@
+// Sampling from discrete (weighted) distributions.
+//
+// Three samplers with different trade-offs, all used by the graph
+// generators:
+//
+//  * AliasTable      — static weights, O(n) build, O(1) sample.
+//  * CdfSampler      — static weights, O(n) build, O(log n) sample; cheap to
+//                      build, used for one-shot distributions (e.g. the
+//                      Kleinberg long-range distance law).
+//  * FenwickSampler  — dynamic non-negative weights with O(log n) update and
+//                      O(log n) sample; used where preferential weights
+//                      change during generation and the repeat-array trick
+//                      does not apply.
+//  * RepeatArray     — the classic preferential-attachment structure: a bag
+//                      of vertex ids where each id appears once per unit of
+//                      (integer) weight; O(1) append and O(1) uniform pick.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rng/random.hpp"
+
+namespace sfs::rng {
+
+/// Walker alias method for sampling i with probability w[i] / sum(w).
+/// Weights must be non-negative with a strictly positive sum.
+class AliasTable {
+ public:
+  AliasTable() = default;
+  explicit AliasTable(std::span<const double> weights);
+
+  /// Number of outcomes.
+  [[nodiscard]] std::size_t size() const noexcept { return prob_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return prob_.empty(); }
+
+  /// Samples an index in [0, size()).
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+ private:
+  std::vector<double> prob_;        // acceptance probability per slot
+  std::vector<std::uint32_t> alias_;  // fallback outcome per slot
+};
+
+/// Inverse-CDF sampler over static weights (binary search on the cumulative
+/// sum). Also exposes the total weight and per-index probabilities, which
+/// the tests use to validate the generators' attachment laws.
+class CdfSampler {
+ public:
+  CdfSampler() = default;
+  explicit CdfSampler(std::span<const double> weights);
+
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return cdf_.empty(); }
+  [[nodiscard]] double total_weight() const noexcept {
+    return cdf_.empty() ? 0.0 : cdf_.back();
+  }
+  /// Probability of outcome i.
+  [[nodiscard]] double probability(std::size_t i) const;
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Fenwick-tree sampler over dynamically updatable non-negative weights.
+class FenwickSampler {
+ public:
+  FenwickSampler() = default;
+  /// Creates `n` outcomes, all with weight 0.
+  explicit FenwickSampler(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] double total_weight() const noexcept { return total_; }
+  [[nodiscard]] double weight(std::size_t i) const;
+
+  /// Adds delta (may be negative; resulting weight must stay >= 0).
+  void add(std::size_t i, double delta);
+  void set_weight(std::size_t i, double w);
+
+  /// Appends a new outcome with the given weight; returns its index.
+  std::size_t push_back(double w);
+
+  /// Samples i with probability weight(i) / total_weight(). Requires a
+  /// strictly positive total weight.
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+ private:
+  [[nodiscard]] double prefix_sum(std::size_t i) const;  // sum of [0, i)
+
+  std::vector<double> tree_;  // 1-based Fenwick array
+  std::size_t n_ = 0;
+  double total_ = 0.0;
+};
+
+/// Bag of ids supporting O(1) "append one unit of weight for id" and O(1)
+/// uniform pick; picking uniformly from the bag samples ids proportionally
+/// to how many units each has received. This is the exact structure used by
+/// preferential attachment (one unit per received edge endpoint).
+class RepeatArray {
+ public:
+  RepeatArray() = default;
+
+  void reserve(std::size_t capacity) { items_.reserve(capacity); }
+  void push(std::uint32_t id) { items_.push_back(id); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+
+  /// Uniform element of the bag; requires non-empty.
+  [[nodiscard]] std::uint32_t sample(Rng& rng) const;
+
+  /// Number of units held by `id` (O(size); for tests only).
+  [[nodiscard]] std::size_t count(std::uint32_t id) const noexcept;
+
+ private:
+  std::vector<std::uint32_t> items_;
+};
+
+}  // namespace sfs::rng

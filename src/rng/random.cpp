@@ -1,0 +1,148 @@
+#include "rng/random.hpp"
+
+#include <cmath>
+
+namespace sfs::rng {
+namespace {
+
+[[nodiscard]] constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+void Xoshiro256::reseed(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+void Xoshiro256::jump() noexcept {
+  static constexpr std::array<std::uint64_t, 4> kJump = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::array<std::uint64_t, 4> acc{};
+  for (const std::uint64_t word : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (word & (1ULL << bit)) {
+        for (std::size_t i = 0; i < 4; ++i) acc[i] ^= state_[i];
+      }
+      (void)(*this)();
+    }
+  }
+  state_ = acc;
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) noexcept {
+  // Lemire's nearly-divisionless method with rejection for exactness.
+  SFS_CHECK(n > 0, "uniform_index(0)");
+  std::uint64_t x = u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < n) {
+    const std::uint64_t threshold = (0ULL - n) % n;
+    while (low < threshold) {
+      x = u64();
+      m = static_cast<__uint128_t>(x) * n;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  SFS_CHECK(lo <= hi, "uniform_int: empty range");
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  // span == 0 means the full 64-bit range: return raw bits.
+  if (span == 0) return static_cast<std::int64_t>(u64());
+  return lo + static_cast<std::int64_t>(uniform_index(span));
+}
+
+double Rng::uniform() noexcept {
+  return static_cast<double>(u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::exponential() noexcept {
+  // -log(1 - U); 1 - U is in (0, 1] so the log is finite.
+  return -std::log(1.0 - uniform());
+}
+
+std::uint64_t Rng::geometric(double p) noexcept {
+  SFS_CHECK(p > 0.0 && p <= 1.0, "geometric: p out of (0,1]");
+  if (p >= 1.0) return 0;
+  // Inversion: floor(log(1-U) / log(1-p)).
+  const double u = uniform();
+  return static_cast<std::uint64_t>(std::floor(std::log1p(-u) /
+                                               std::log1p(-p)));
+}
+
+std::vector<std::uint64_t> Rng::sample_without_replacement(std::uint64_t n,
+                                                           std::uint64_t k) {
+  SFS_REQUIRE(k <= n, "cannot sample more items than the population");
+  // Floyd's algorithm: O(k) expected time, O(k) memory.
+  std::vector<std::uint64_t> result;
+  result.reserve(static_cast<std::size_t>(k));
+  for (std::uint64_t j = n - k; j < n; ++j) {
+    const std::uint64_t t = uniform_index(j + 1);
+    bool seen = false;
+    for (const std::uint64_t v : result) {
+      if (v == t) {
+        seen = true;
+        break;
+      }
+    }
+    result.push_back(seen ? j : t);
+  }
+  return result;
+}
+
+Rng Rng::fork(std::uint64_t tag) noexcept {
+  const auto s = engine_.state();
+  std::uint64_t h = mix64(s[0] ^ mix64(tag));
+  h = mix64(h ^ s[2]);
+  // Advance the parent so that repeated forks with the same tag differ.
+  h ^= u64();
+  return Rng(h);
+}
+
+std::uint64_t derive_seed(std::uint64_t experiment_seed,
+                          std::uint64_t rep) noexcept {
+  return mix64(experiment_seed ^ mix64(0x5eedULL + rep));
+}
+
+}  // namespace sfs::rng

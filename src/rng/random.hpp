@@ -1,0 +1,130 @@
+// Deterministic, seedable random number generation.
+//
+// Every random procedure in sfsearch takes an explicit seed or an Rng&; the
+// library never touches global RNG state, so identical seeds reproduce
+// identical graphs and search traces on every platform (we do not rely on
+// libstdc++ distribution implementations for anything that affects results).
+//
+// The engine is xoshiro256** (Blackman & Vigna), seeded through splitmix64,
+// which is the standard recommendation for initializing xoshiro state from a
+// single 64-bit seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "base/check.hpp"
+
+namespace sfs::rng {
+
+/// One step of the splitmix64 sequence. Used for seed expansion and as a
+/// cheap stateless hash of a 64-bit value.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stateless mix of a single value (one splitmix64 step from `x`).
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept;
+
+/// xoshiro256** 1.0 engine. Satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via splitmix64.
+  explicit Xoshiro256(std::uint64_t seed = 0) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept;
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept;
+
+  /// Equivalent to 2^128 calls of operator(); used to derive independent
+  /// substreams.
+  void jump() noexcept;
+
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const noexcept {
+    return state_;
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Convenience wrapper bundling an engine with the uniform-variate helpers
+/// every generator and search algorithm needs. All methods are cheap; the
+/// class is freely copyable (copying forks the stream deterministically at
+/// the current state).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0) noexcept : engine_(seed) {}
+
+  /// Raw 64 uniform bits.
+  [[nodiscard]] std::uint64_t u64() noexcept { return engine_(); }
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses Lemire's unbiased
+  /// multiply-shift rejection method.
+  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo,
+                                         std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// True with probability p (p clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// Standard exponential variate (rate 1) via inversion.
+  [[nodiscard]] double exponential() noexcept;
+
+  /// Geometric variate: number of failures before first success with success
+  /// probability p in (0, 1]. Mean (1-p)/p.
+  [[nodiscard]] std::uint64_t geometric(double p) noexcept;
+
+  /// Uniformly chosen element of a non-empty span.
+  template <typename T>
+  [[nodiscard]] const T& pick(std::span<const T> items) noexcept {
+    return items[static_cast<std::size_t>(uniform_index(items.size()))];
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_index(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) without replacement
+  /// (Floyd's algorithm; order is not uniform, membership is).
+  [[nodiscard]] std::vector<std::uint64_t> sample_without_replacement(
+      std::uint64_t n, std::uint64_t k);
+
+  /// Deterministically derives an independent substream: the result is
+  /// seeded from a hash of (current state, tag). Use to hand child tasks
+  /// their own generators without correlating streams.
+  [[nodiscard]] Rng fork(std::uint64_t tag) noexcept;
+
+  [[nodiscard]] Xoshiro256& engine() noexcept { return engine_; }
+
+ private:
+  Xoshiro256 engine_;
+};
+
+/// Derives the seed for replication `rep` of experiment `experiment_seed`
+/// in a way that decorrelates nearby (seed, rep) pairs.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t experiment_seed,
+                                        std::uint64_t rep) noexcept;
+
+}  // namespace sfs::rng

@@ -1,0 +1,38 @@
+#include "search/kleinberg_routing.hpp"
+
+namespace sfs::search {
+
+using graph::VertexId;
+
+GreedyRouteResult greedy_route(const gen::KleinbergGrid& grid,
+                               VertexId source, VertexId target,
+                               std::size_t max_steps) {
+  const graph::Graph& g = grid.graph();
+  SFS_REQUIRE(source < g.num_vertices() && target < g.num_vertices(),
+              "route endpoints out of range");
+  GreedyRouteResult r;
+  VertexId current = source;
+  while (current != target && r.steps < max_steps) {
+    VertexId best = current;
+    std::size_t best_dist = grid.lattice_distance(current, target);
+    for (const graph::EdgeId e : g.incident(current)) {
+      const VertexId v = g.other_endpoint(e, current);
+      const std::size_t d = grid.lattice_distance(v, target);
+      if (d < best_dist || (d == best_dist && v < best && best != current)) {
+        best = v;
+        best_dist = d;
+      }
+    }
+    if (best == current) {
+      // No strictly closer neighbor — cannot happen on the torus with local
+      // edges, but guard against misuse with a truthful result.
+      return r;
+    }
+    current = best;
+    ++r.steps;
+  }
+  r.delivered = current == target;
+  return r;
+}
+
+}  // namespace sfs::search

@@ -1,0 +1,33 @@
+// Greedy geographic routing on the Kleinberg grid (Kle00).
+//
+// This is the *navigable* counterpoint to the paper's negative result: the
+// greedy algorithm knows the lattice coordinates of every vertex (strictly
+// more information than the paper's strong model) and still needs
+// polynomial time unless the long-range exponent equals the lattice
+// dimension.
+#pragma once
+
+#include <cstdint>
+
+#include "gen/kleinberg.hpp"
+#include "rng/random.hpp"
+
+namespace sfs::search {
+
+struct GreedyRouteResult {
+  bool delivered = false;
+  /// Hops taken (vertices visited minus one).
+  std::size_t steps = 0;
+};
+
+/// Routes a message from `source` to `target` by always forwarding to the
+/// neighbor (local or long-range, either edge direction) closest to the
+/// target in lattice distance; ties broken toward the smallest vertex id.
+/// On the torus the four local edges guarantee strict progress, so the
+/// route always delivers; `max_steps` is a safety valve.
+[[nodiscard]] GreedyRouteResult greedy_route(
+    const gen::KleinbergGrid& grid, graph::VertexId source,
+    graph::VertexId target,
+    std::size_t max_steps = static_cast<std::size_t>(-1));
+
+}  // namespace sfs::search

@@ -1,0 +1,130 @@
+#include "search/local_view.hpp"
+
+#include <algorithm>
+
+namespace sfs::search {
+
+using graph::EdgeId;
+using graph::kNoEdge;
+using graph::kNoVertex;
+using graph::VertexId;
+
+LocalView::LocalView(const graph::Graph& g, KnowledgeModel model,
+                     VertexId start, VertexId target)
+    : graph_(&g), model_(model), start_(start), target_(target) {
+  SFS_REQUIRE(start < g.num_vertices(), "start vertex out of range");
+  SFS_REQUIRE(target < g.num_vertices(), "target vertex out of range");
+  known_.assign(g.num_vertices(), false);
+  parent_.assign(g.num_vertices(), kNoVertex);
+  explored_edge_.assign(g.num_edges(), false);
+  requested_vertex_.assign(g.num_vertices(), false);
+  unexplored_cursor_.assign(g.num_vertices(), 0);
+  make_known(start, kNoVertex);
+}
+
+bool LocalView::is_known(VertexId v) const {
+  SFS_REQUIRE(v < graph_->num_vertices(), "vertex out of range");
+  return known_[v];
+}
+
+std::size_t LocalView::degree(VertexId v) const {
+  SFS_REQUIRE(is_known(v), "degree of an unknown vertex");
+  return graph_->degree(v);
+}
+
+std::span<const EdgeId> LocalView::incident(VertexId v) const {
+  SFS_REQUIRE(is_known(v), "incident edges of an unknown vertex");
+  return graph_->incident(v);
+}
+
+bool LocalView::edge_explored(EdgeId e) const {
+  SFS_REQUIRE(e < graph_->num_edges(), "edge out of range");
+  return explored_edge_[e];
+}
+
+std::optional<VertexId> LocalView::far_endpoint(EdgeId e, VertexId u) const {
+  SFS_REQUIRE(is_known(u), "far_endpoint from an unknown vertex");
+  const graph::Edge& ed = graph_->edge(e);
+  SFS_REQUIRE(ed.tail == u || ed.head == u, "edge not incident to u");
+  if (!explored_edge_[e]) return std::nullopt;
+  return graph_->other_endpoint(e, u);
+}
+
+std::optional<EdgeId> LocalView::first_unexplored(VertexId v) const {
+  SFS_REQUIRE(is_known(v), "first_unexplored of an unknown vertex");
+  const auto inc = graph_->incident(v);
+  auto& cur = unexplored_cursor_[v];
+  while (cur < inc.size() && explored_edge_[inc[cur]]) ++cur;
+  if (cur >= inc.size()) return std::nullopt;
+  return inc[cur];
+}
+
+VertexId LocalView::request_edge(VertexId u, EdgeId e) {
+  SFS_REQUIRE(model_ == KnowledgeModel::kWeak,
+              "request_edge is a weak-model request");
+  SFS_REQUIRE(is_known(u), "requests must start from a discovered vertex");
+  const graph::Edge& ed = graph_->edge(e);
+  SFS_REQUIRE(ed.tail == u || ed.head == u, "edge not incident to u");
+
+  ++raw_requests_;
+  const VertexId v = graph_->other_endpoint(e, u);
+  if (!explored_edge_[e]) {
+    ++requests_;
+    explored_edge_[e] = true;
+    if (!known_[v]) make_known(v, u);
+  }
+  return v;
+}
+
+std::vector<VertexId> LocalView::request_vertex(VertexId u) {
+  SFS_REQUIRE(model_ == KnowledgeModel::kStrong,
+              "request_vertex is a strong-model request");
+  SFS_REQUIRE(is_known(u),
+              "strong requests must name a vertex whose identity is known");
+
+  ++raw_requests_;
+  if (!requested_vertex_[u]) {
+    ++requests_;
+    requested_vertex_[u] = true;
+    for (const EdgeId e : graph_->incident(u)) {
+      explored_edge_[e] = true;
+      const VertexId v = graph_->other_endpoint(e, u);
+      if (!known_[v]) make_known(v, u);
+    }
+  }
+  return graph_->neighbors(u);
+}
+
+bool LocalView::vertex_requested(VertexId u) const {
+  SFS_REQUIRE(u < graph_->num_vertices(), "vertex out of range");
+  if (model_ == KnowledgeModel::kStrong) return requested_vertex_[u];
+  return known_[u] && !first_unexplored(u).has_value();
+}
+
+bool LocalView::target_found() const { return known_[target_]; }
+
+VertexId LocalView::discoverer(VertexId v) const {
+  SFS_REQUIRE(v < graph_->num_vertices(), "vertex out of range");
+  return parent_[v];
+}
+
+std::vector<VertexId> LocalView::discovery_path() const {
+  if (!target_found()) return {};
+  std::vector<VertexId> path;
+  for (VertexId v = target_; v != kNoVertex; v = parent_[v]) {
+    path.push_back(v);
+    SFS_CHECK(path.size() <= graph_->num_vertices(),
+              "discovery forest contains a cycle");
+  }
+  std::reverse(path.begin(), path.end());
+  SFS_CHECK(path.front() == start_, "discovery path does not start at start");
+  return path;
+}
+
+void LocalView::make_known(VertexId v, VertexId via) {
+  known_[v] = true;
+  parent_[v] = via;
+  known_order_.push_back(v);
+}
+
+}  // namespace sfs::search

@@ -1,0 +1,175 @@
+// LocalView: the information mediator between a search algorithm and the
+// hidden graph, implementing the paper's two local-knowledge models.
+//
+// From the paper (§1, "Modeling the searching process"):
+//
+//   "In both models, the searching process has access to a list of already
+//    discovered vertices (initially reduced to a single vertex), each with
+//    its degree and a list of incident edges. At each time step, the
+//    searching process can try to discover a new vertex by making a
+//    request. In the weak model, a request is in the form of a pair (u, e),
+//    where u is an already discovered vertex, and e is an edge incident to
+//    u. The answer to the request is the identity v of the other endpoint
+//    of edge e, together with the list of all edges incident to v. In the
+//    strong model, a request is in the form of a vertex u that is adjacent
+//    to an already discovered vertex, and the answer consists of the list
+//    of vertices adjacent to u, together with their respective lists of
+//    incident edges. Our measure of performance is the number of requests
+//    made prior to stopping."
+//
+// Accounting convention: a request whose answer is already implied by past
+// answers (re-requesting an explored edge, or a strong request for an
+// already-requested vertex) is served from cache and NOT charged — an
+// optimal process never repeats itself, and the paper's lower bounds count
+// distinct discoveries. The raw count including repeats is also kept, since
+// the Adamic et al. random-walk baseline is traditionally measured in steps.
+//
+// The view also maintains the discovery forest (who revealed whom), from
+// which the found path start -> target is extracted, satisfying the paper's
+// goal of "finding a path to vertex n".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sfs::search {
+
+enum class KnowledgeModel {
+  kWeak,
+  kStrong,
+};
+
+/// A weak-model request: reveal the far endpoint of edge `e` from vertex
+/// `u`.
+struct WeakRequest {
+  graph::VertexId u = graph::kNoVertex;
+  graph::EdgeId e = graph::kNoEdge;
+  friend bool operator==(const WeakRequest&, const WeakRequest&) = default;
+};
+
+class LocalView {
+ public:
+  /// Starts a search over `g` from `start` for `target`. The view holds a
+  /// reference to `g`; the graph must outlive the view.
+  LocalView(const graph::Graph& g, KnowledgeModel model, graph::VertexId start,
+            graph::VertexId target);
+
+  [[nodiscard]] KnowledgeModel model() const noexcept { return model_; }
+  [[nodiscard]] graph::VertexId start() const noexcept { return start_; }
+  [[nodiscard]] graph::VertexId target() const noexcept { return target_; }
+
+  /// Global vertex count. The paper's processes know the id range [1, n],
+  /// so exposing n leaks nothing beyond the model.
+  [[nodiscard]] std::size_t num_vertices() const noexcept {
+    return graph_->num_vertices();
+  }
+
+  // ------------------------------------------------------------------
+  // Knowledge accessors (legal for *known* vertices only).
+  // ------------------------------------------------------------------
+
+  /// Vertices whose identity, degree and incident edge list are currently
+  /// known, in discovery order (the first element is start()).
+  [[nodiscard]] std::span<const graph::VertexId> known_vertices()
+      const noexcept {
+    return known_order_;
+  }
+
+  [[nodiscard]] bool is_known(graph::VertexId v) const;
+
+  /// Degree of a known vertex (self-loops count twice, as in Graph).
+  [[nodiscard]] std::size_t degree(graph::VertexId v) const;
+
+  /// Incident edge ids of a known vertex.
+  [[nodiscard]] std::span<const graph::EdgeId> incident(
+      graph::VertexId v) const;
+
+  /// Whether both endpoints of `e` have been revealed.
+  [[nodiscard]] bool edge_explored(graph::EdgeId e) const;
+
+  /// The far endpoint of `e` as seen from `u`, if already revealed.
+  [[nodiscard]] std::optional<graph::VertexId> far_endpoint(
+      graph::EdgeId e, graph::VertexId u) const;
+
+  /// First incident edge of known vertex `v` that is not yet explored, if
+  /// any. Amortized O(deg) over the whole search via a monotone cursor.
+  [[nodiscard]] std::optional<graph::EdgeId> first_unexplored(
+      graph::VertexId v) const;
+
+  /// True if `v` (known) has at least one unexplored incident edge.
+  [[nodiscard]] bool has_unexplored(graph::VertexId v) const {
+    return first_unexplored(v).has_value();
+  }
+
+  // ------------------------------------------------------------------
+  // Requests.
+  // ------------------------------------------------------------------
+
+  /// Weak-model request (u, e): requires model() == kWeak, `u` known and
+  /// `e` incident to `u`. Returns the identity of the far endpoint, which
+  /// becomes known. Charged once per edge.
+  graph::VertexId request_edge(graph::VertexId u, graph::EdgeId e);
+  graph::VertexId request_edge(const WeakRequest& r) {
+    return request_edge(r.u, r.e);
+  }
+
+  /// Strong-model request: requires model() == kStrong and `u` known (the
+  /// start vertex is known from the outset). All neighbors of `u` become
+  /// known. Returns the neighbor identities (multiset, loop gives u).
+  /// Charged once per vertex.
+  std::vector<graph::VertexId> request_vertex(graph::VertexId u);
+
+  /// Whether `u` is "fully opened": in the strong model, already the
+  /// subject of a charged request; in the weak model, known with every
+  /// incident edge explored (the state a simulated strong request leaves a
+  /// vertex in — see search/simulate.hpp).
+  [[nodiscard]] bool vertex_requested(graph::VertexId u) const;
+
+  // ------------------------------------------------------------------
+  // Accounting and outcome.
+  // ------------------------------------------------------------------
+
+  /// Charged (novel) requests so far.
+  [[nodiscard]] std::size_t requests() const noexcept { return requests_; }
+  /// All requests including cached repeats.
+  [[nodiscard]] std::size_t raw_requests() const noexcept {
+    return raw_requests_;
+  }
+
+  /// True once the target's identity is known (also true immediately if
+  /// start == target).
+  [[nodiscard]] bool target_found() const;
+
+  /// Path start -> target through the discovery forest; empty unless
+  /// target_found(). Every consecutive pair is joined by an edge of the
+  /// graph.
+  [[nodiscard]] std::vector<graph::VertexId> discovery_path() const;
+
+  /// Vertex that first revealed `v` (kNoVertex for start or unknown `v`).
+  [[nodiscard]] graph::VertexId discoverer(graph::VertexId v) const;
+
+ private:
+  void make_known(graph::VertexId v, graph::VertexId via);
+  void mark_explored(graph::EdgeId e);
+
+  const graph::Graph* graph_;
+  KnowledgeModel model_;
+  graph::VertexId start_;
+  graph::VertexId target_;
+
+  std::vector<bool> known_;
+  std::vector<graph::VertexId> known_order_;
+  std::vector<graph::VertexId> parent_;     // discovery forest
+  std::vector<bool> explored_edge_;
+  std::vector<bool> requested_vertex_;      // strong model
+  mutable std::vector<std::uint32_t> unexplored_cursor_;
+
+  std::size_t requests_ = 0;
+  std::size_t raw_requests_ = 0;
+};
+
+}  // namespace sfs::search

@@ -1,0 +1,93 @@
+#include "search/percolation.hpp"
+
+#include <vector>
+
+namespace sfs::search {
+
+using graph::EdgeId;
+using graph::VertexId;
+
+namespace {
+
+/// Appends the vertices of a `len`-step random walk from `from` (excluding
+/// `from` itself) to `out`, marking them in `mark`. Returns steps taken
+/// (may stop early at an isolated vertex).
+std::size_t random_walk_implant(const graph::Graph& g, VertexId from,
+                                std::size_t len, std::vector<bool>& mark,
+                                std::vector<VertexId>& out, rng::Rng& rng) {
+  VertexId current = from;
+  std::size_t steps = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    const auto inc = g.incident(current);
+    if (inc.empty()) break;
+    const EdgeId e =
+        inc[static_cast<std::size_t>(rng.uniform_index(inc.size()))];
+    current = g.other_endpoint(e, current);
+    ++steps;
+    if (!mark[current]) {
+      mark[current] = true;
+      out.push_back(current);
+    }
+  }
+  return steps;
+}
+
+}  // namespace
+
+PercolationResult percolation_search(const graph::Graph& g, VertexId owner,
+                                     VertexId requester,
+                                     const PercolationParams& params,
+                                     rng::Rng& rng) {
+  SFS_REQUIRE(owner < g.num_vertices() && requester < g.num_vertices(),
+              "owner/requester out of range");
+  SFS_REQUIRE(params.edge_prob >= 0.0 && params.edge_prob <= 1.0,
+              "edge probability out of [0,1]");
+
+  PercolationResult r;
+
+  // 1. Content implantation.
+  std::vector<bool> has_replica(g.num_vertices(), false);
+  std::vector<VertexId> replicas;
+  has_replica[owner] = true;
+  replicas.push_back(owner);
+  r.messages += random_walk_implant(g, owner, params.replication_walk,
+                                    has_replica, replicas, rng);
+  r.replicas = replicas.size();
+
+  // 2. Query implantation.
+  std::vector<bool> reached(g.num_vertices(), false);
+  std::vector<VertexId> frontier;
+  reached[requester] = true;
+  frontier.push_back(requester);
+  r.messages += random_walk_implant(g, requester, params.query_walk, reached,
+                                    frontier, rng);
+
+  // 3. Bond-percolation broadcast (BFS where each directed forwarding of an
+  // edge fires independently with probability q_e; an edge may be tried
+  // from both sides, matching the message-passing protocol).
+  std::size_t head = 0;
+  bool found = false;
+  for (const VertexId v : frontier) {
+    if (has_replica[v]) found = true;
+  }
+  while (head < frontier.size() && !found) {
+    const VertexId u = frontier[head++];
+    for (const EdgeId e : g.incident(u)) {
+      if (!rng.bernoulli(params.edge_prob)) continue;
+      ++r.messages;
+      const VertexId v = g.other_endpoint(e, u);
+      if (reached[v]) continue;
+      reached[v] = true;
+      frontier.push_back(v);
+      if (has_replica[v]) {
+        found = true;
+        break;
+      }
+    }
+  }
+  r.found = found;
+  r.vertices_reached = frontier.size();
+  return r;
+}
+
+}  // namespace sfs::search

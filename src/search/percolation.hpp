@@ -1,0 +1,50 @@
+// Percolation search (Sarshar, Boykin, Roychowdhury, P2P'04).
+//
+// The protocol the paper cites as the way around non-searchability when
+// content can be *replicated*:
+//   1. content implantation: the owner caches the content on every vertex
+//      of a random walk of length L_r;
+//   2. query implantation: the requester plants its query on every vertex
+//      of a random walk of length L_q;
+//   3. bond-percolation broadcast: from every query holder, the query is
+//      flooded where each edge forwards independently with probability q_e.
+// The lookup succeeds if the percolation cluster of the query reaches any
+// content replica. High-degree vertices are hit by both walks quickly, and
+// for power-law graphs a q_e slightly above the percolation threshold makes
+// the high-degree core connected, giving sublinear traffic per query.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "rng/random.hpp"
+
+namespace sfs::search {
+
+struct PercolationParams {
+  /// Content-implantation random-walk length L_r (0 = owner only).
+  std::size_t replication_walk = 0;
+  /// Query-implantation random-walk length L_q (0 = requester only).
+  std::size_t query_walk = 0;
+  /// Bond-percolation broadcast probability q_e in [0, 1].
+  double edge_prob = 0.5;
+};
+
+struct PercolationResult {
+  bool found = false;
+  /// Messages: walk steps for both implantations plus every percolated
+  /// (forwarded) edge traversal during the broadcast.
+  std::size_t messages = 0;
+  /// Vertices reached by the broadcast (incl. query-walk vertices).
+  std::size_t vertices_reached = 0;
+  /// Replica holders (owner + replication walk, deduplicated).
+  std::size_t replicas = 0;
+};
+
+/// Executes one lookup of content owned by `owner` issued at `requester`.
+[[nodiscard]] PercolationResult percolation_search(
+    const graph::Graph& g, graph::VertexId owner, graph::VertexId requester,
+    const PercolationParams& params, rng::Rng& rng);
+
+}  // namespace sfs::search

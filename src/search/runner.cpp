@@ -1,0 +1,60 @@
+#include "search/runner.hpp"
+
+namespace sfs::search {
+
+namespace {
+
+SearchResult finish(const LocalView& view, bool budget_hit, bool gave_up) {
+  SearchResult r;
+  r.found = view.target_found();
+  r.requests = view.requests();
+  r.raw_requests = view.raw_requests();
+  r.budget_exhausted = budget_hit;
+  r.gave_up = gave_up;
+  if (r.found) {
+    const auto path = view.discovery_path();
+    r.path_length = path.empty() ? 0 : path.size() - 1;
+  }
+  return r;
+}
+
+}  // namespace
+
+SearchResult run_weak(const graph::Graph& g, graph::VertexId start,
+                      graph::VertexId target, WeakSearcher& searcher,
+                      rng::Rng& rng, const RunBudget& budget) {
+  LocalView view(g, KnowledgeModel::kWeak, start, target);
+  searcher.start(view, rng);
+  while (!view.target_found()) {
+    if (view.requests() >= budget.max_requests ||
+        view.raw_requests() >= budget.max_raw_requests) {
+      return finish(view, /*budget_hit=*/true, /*gave_up=*/false);
+    }
+    const auto req = searcher.next(view, rng);
+    if (!req) return finish(view, false, /*gave_up=*/true);
+    const graph::VertexId revealed = view.request_edge(*req);
+    searcher.observe(view, *req, revealed);
+  }
+  return finish(view, false, false);
+}
+
+SearchResult run_strong(const graph::Graph& g, graph::VertexId start,
+                        graph::VertexId target, StrongSearcher& searcher,
+                        rng::Rng& rng, const RunBudget& budget) {
+  LocalView view(g, KnowledgeModel::kStrong, start, target);
+  searcher.start(view, rng);
+  while (!view.target_found()) {
+    if (view.requests() >= budget.max_requests ||
+        view.raw_requests() >= budget.max_raw_requests) {
+      return finish(view, true, false);
+    }
+    const auto req = searcher.next(view, rng);
+    if (!req) return finish(view, false, true);
+    const auto neighbors = view.request_vertex(*req);
+    searcher.observe(view, *req,
+                     std::span<const graph::VertexId>(neighbors));
+  }
+  return finish(view, false, false);
+}
+
+}  // namespace sfs::search

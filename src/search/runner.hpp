@@ -1,0 +1,51 @@
+// Drives a searcher against a LocalView until the target is found, the
+// policy gives up, or a budget is exhausted.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "search/searcher.hpp"
+
+namespace sfs::search {
+
+struct RunBudget {
+  /// Cap on charged requests (distinct discoveries). The weak model can
+  /// charge at most m requests and the strong model at most n, so the
+  /// default of "no cap" always terminates for exhaustive policies.
+  std::size_t max_requests = std::numeric_limits<std::size_t>::max();
+  /// Cap on raw requests including cached repeats; this is what stops a
+  /// random walk that keeps re-traversing known edges.
+  std::size_t max_raw_requests = std::numeric_limits<std::size_t>::max();
+};
+
+struct SearchResult {
+  bool found = false;
+  /// Charged requests when the search stopped.
+  std::size_t requests = 0;
+  /// Raw requests (incl. repeats) when the search stopped.
+  std::size_t raw_requests = 0;
+  /// Number of edges of the discovered start->target path (0 if !found and
+  /// also 0 when start == target).
+  std::size_t path_length = 0;
+  /// True if the run stopped on a budget rather than success/exhaustion.
+  bool budget_exhausted = false;
+  /// True if the policy returned nullopt (gave up / exhausted region).
+  bool gave_up = false;
+};
+
+/// Runs a weak-model search for `target` from `start` on `g`.
+[[nodiscard]] SearchResult run_weak(const graph::Graph& g,
+                                    graph::VertexId start,
+                                    graph::VertexId target,
+                                    WeakSearcher& searcher, rng::Rng& rng,
+                                    const RunBudget& budget = {});
+
+/// Runs a strong-model search for `target` from `start` on `g`.
+[[nodiscard]] SearchResult run_strong(const graph::Graph& g,
+                                      graph::VertexId start,
+                                      graph::VertexId target,
+                                      StrongSearcher& searcher, rng::Rng& rng,
+                                      const RunBudget& budget = {});
+
+}  // namespace sfs::search

@@ -1,0 +1,63 @@
+// Search-algorithm interfaces.
+//
+// A searcher is a (possibly randomized) policy that, given the current
+// LocalView, proposes the next request. The runner (runner.hpp) applies the
+// request, informs the searcher of the answer, and repeats until the target
+// is found, the searcher gives up, or a budget is hit.
+//
+// Searchers are single-search objects: construct (or reset) one per run.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "rng/random.hpp"
+#include "search/local_view.hpp"
+
+namespace sfs::search {
+
+/// Policy for the weak knowledge model.
+class WeakSearcher {
+ public:
+  virtual ~WeakSearcher() = default;
+
+  /// Called once before the first request.
+  virtual void start(const LocalView& view, rng::Rng& rng) = 0;
+
+  /// Proposes the next request, or nullopt to give up (e.g. every reachable
+  /// edge explored).
+  virtual std::optional<WeakRequest> next(const LocalView& view,
+                                          rng::Rng& rng) = 0;
+
+  /// Informs the policy of the answer to its last request.
+  virtual void observe(const LocalView& view, const WeakRequest& request,
+                       graph::VertexId revealed) = 0;
+
+  /// Human-readable policy name (used in experiment tables).
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Policy for the strong knowledge model.
+class StrongSearcher {
+ public:
+  virtual ~StrongSearcher() = default;
+
+  virtual void start(const LocalView& view, rng::Rng& rng) = 0;
+
+  /// Proposes the next vertex to request, or nullopt to give up.
+  virtual std::optional<graph::VertexId> next(const LocalView& view,
+                                              rng::Rng& rng) = 0;
+
+  virtual void observe(const LocalView& view, graph::VertexId requested,
+                       std::span<const graph::VertexId> neighbors) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Factory signatures used by the experiment harness to make a fresh
+/// searcher per replication.
+using WeakSearcherFactory = std::unique_ptr<WeakSearcher> (*)();
+using StrongSearcherFactory = std::unique_ptr<StrongSearcher> (*)();
+
+}  // namespace sfs::search

@@ -1,0 +1,57 @@
+// The strong-to-weak simulation argument of Theorem 1:
+//
+//   "Any algorithm operating in the strong model can be simulated in the
+//    weak model by replacing each request about vertex u with requests
+//    about all edges incident to u, which gives a slowdown factor of at
+//    most the maximum degree."
+//
+// StrongViaWeak wraps any StrongSearcher as a WeakSearcher implementing
+// exactly this reduction: when the inner policy asks for vertex u, the
+// wrapper replays (u, e) weak requests for every incident edge of u before
+// consulting the inner policy again. The property tests verify the two
+// sides of the argument: the simulation discovers the same vertex set in
+// the same order, and its weak-request count is at most
+// max_degree × (strong requests).
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "search/searcher.hpp"
+
+namespace sfs::search {
+
+class StrongViaWeak final : public WeakSearcher {
+ public:
+  explicit StrongViaWeak(std::unique_ptr<StrongSearcher> inner);
+
+  void start(const LocalView& view, rng::Rng& rng) override;
+  std::optional<WeakRequest> next(const LocalView& view,
+                                  rng::Rng& rng) override;
+  void observe(const LocalView& view, const WeakRequest& request,
+               graph::VertexId revealed) override;
+  [[nodiscard]] std::string name() const override {
+    return "weak-sim(" + inner_->name() + ")";
+  }
+
+  /// Number of strong requests the inner policy has issued so far.
+  [[nodiscard]] std::size_t strong_requests() const noexcept {
+    return strong_requests_;
+  }
+
+ private:
+  /// Pulls the next vertex from the inner policy and queues its incident
+  /// edges; returns false if the inner policy gave up.
+  bool refill(const LocalView& view, rng::Rng& rng);
+
+  std::unique_ptr<StrongSearcher> inner_;
+  graph::VertexId current_ = graph::kNoVertex;  // vertex being opened
+  std::deque<graph::EdgeId> pending_;           // its remaining edges
+  std::vector<graph::VertexId> revealed_batch_; // neighbors found so far
+  std::size_t strong_requests_ = 0;
+};
+
+/// Convenience: wraps a fresh Adamic-style strong degree-greedy policy.
+[[nodiscard]] std::unique_ptr<WeakSearcher> make_simulated_degree_greedy();
+
+}  // namespace sfs::search

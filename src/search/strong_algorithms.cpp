@@ -1,0 +1,111 @@
+#include "search/strong_algorithms.hpp"
+
+namespace sfs::search {
+
+using graph::VertexId;
+
+PriorityStrong::PriorityStrong(Key key, std::string name)
+    : key_(std::move(key)), name_(std::move(name)) {}
+
+void PriorityStrong::start(const LocalView& view, rng::Rng&) {
+  heap_ = {};
+  enqueued_upto_ = 0;
+  sync(view);
+}
+
+void PriorityStrong::sync(const LocalView& view) {
+  const auto known = view.known_vertices();
+  for (; enqueued_upto_ < known.size(); ++enqueued_upto_) {
+    const VertexId v = known[enqueued_upto_];
+    heap_.push(Entry{key_(view, v), v});
+  }
+}
+
+std::optional<VertexId> PriorityStrong::next(const LocalView& view,
+                                             rng::Rng&) {
+  sync(view);
+  while (!heap_.empty()) {
+    const VertexId v = heap_.top().v;
+    if (!view.vertex_requested(v)) return v;
+    heap_.pop();
+  }
+  return std::nullopt;
+}
+
+void PriorityStrong::observe(const LocalView& view, VertexId,
+                             std::span<const VertexId>) {
+  sync(view);
+}
+
+std::unique_ptr<StrongSearcher> make_degree_greedy_strong() {
+  return std::make_unique<PriorityStrong>(
+      [](const LocalView& view, VertexId v) {
+        return static_cast<double>(view.degree(v));
+      },
+      "degree-greedy-strong");
+}
+
+std::unique_ptr<StrongSearcher> make_min_id_strong() {
+  return std::make_unique<PriorityStrong>(
+      [](const LocalView&, VertexId v) { return -static_cast<double>(v); },
+      "min-id-strong");
+}
+
+std::unique_ptr<StrongSearcher> make_max_id_strong() {
+  return std::make_unique<PriorityStrong>(
+      [](const LocalView&, VertexId v) { return static_cast<double>(v); },
+      "max-id-strong");
+}
+
+void BfsStrong::start(const LocalView&, rng::Rng&) { cursor_ = 0; }
+
+std::optional<VertexId> BfsStrong::next(const LocalView& view, rng::Rng&) {
+  const auto known = view.known_vertices();
+  while (cursor_ < known.size()) {
+    const VertexId v = known[cursor_];
+    if (!view.vertex_requested(v)) return v;
+    ++cursor_;
+  }
+  return std::nullopt;
+}
+
+void BfsStrong::observe(const LocalView&, VertexId,
+                        std::span<const VertexId>) {}
+
+void RandomStrong::start(const LocalView& view, rng::Rng&) {
+  pool_.clear();
+  synced_upto_ = 0;
+  const auto known = view.known_vertices();
+  pool_.assign(known.begin(), known.end());
+  synced_upto_ = known.size();
+}
+
+std::optional<VertexId> RandomStrong::next(const LocalView& view,
+                                           rng::Rng& rng) {
+  const auto known = view.known_vertices();
+  for (; synced_upto_ < known.size(); ++synced_upto_)
+    pool_.push_back(known[synced_upto_]);
+  while (!pool_.empty()) {
+    const auto idx = static_cast<std::size_t>(rng.uniform_index(pool_.size()));
+    const VertexId v = pool_[idx];
+    if (!view.vertex_requested(v)) return v;
+    pool_[idx] = pool_.back();
+    pool_.pop_back();
+  }
+  return std::nullopt;
+}
+
+void RandomStrong::observe(const LocalView&, VertexId,
+                           std::span<const VertexId>) {}
+
+std::vector<std::unique_ptr<StrongSearcher>> strong_portfolio() {
+  std::vector<std::unique_ptr<StrongSearcher>> out;
+  out.push_back(make_degree_greedy_strong());
+  out.push_back(std::make_unique<BfsStrong>());
+  out.push_back(std::make_unique<RandomStrong>());
+  out.push_back(make_min_id_strong());
+  out.push_back(make_max_id_strong());
+  return out;
+}
+
+}  // namespace sfs::search

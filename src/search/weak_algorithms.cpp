@@ -1,0 +1,224 @@
+#include "search/weak_algorithms.hpp"
+
+#include <algorithm>
+
+#include "search/simulate.hpp"
+
+namespace sfs::search {
+
+using graph::EdgeId;
+using graph::kNoEdge;
+using graph::kNoVertex;
+using graph::VertexId;
+
+// ---------------------------------------------------------------- walks
+
+void RandomWalkWeak::start(const LocalView& view, rng::Rng&) {
+  current_ = view.start();
+}
+
+std::optional<WeakRequest> RandomWalkWeak::next(const LocalView& view,
+                                                rng::Rng& rng) {
+  const auto inc = view.incident(current_);
+  if (inc.empty()) return std::nullopt;  // isolated start: stuck
+  const EdgeId e =
+      inc[static_cast<std::size_t>(rng.uniform_index(inc.size()))];
+  return WeakRequest{current_, e};
+}
+
+void RandomWalkWeak::observe(const LocalView&, const WeakRequest&,
+                             VertexId revealed) {
+  current_ = revealed;
+}
+
+void NoBacktrackWalkWeak::start(const LocalView& view, rng::Rng&) {
+  current_ = view.start();
+  arrival_edge_ = kNoEdge;
+}
+
+std::optional<WeakRequest> NoBacktrackWalkWeak::next(const LocalView& view,
+                                                     rng::Rng& rng) {
+  const auto inc = view.incident(current_);
+  if (inc.empty()) return std::nullopt;
+  if (inc.size() == 1) return WeakRequest{current_, inc[0]};
+  // Choose uniformly among incident edges other than the arrival edge.
+  EdgeId e;
+  do {
+    e = inc[static_cast<std::size_t>(rng.uniform_index(inc.size()))];
+  } while (e == arrival_edge_);
+  return WeakRequest{current_, e};
+}
+
+void NoBacktrackWalkWeak::observe(const LocalView&,
+                                  const WeakRequest& request,
+                                  VertexId revealed) {
+  current_ = revealed;
+  arrival_edge_ = request.e;
+}
+
+// ---------------------------------------------------------------- bfs/dfs
+
+void BfsWeak::start(const LocalView& view, rng::Rng&) {
+  queue_.clear();
+  queue_.push_back(view.start());
+}
+
+std::optional<WeakRequest> BfsWeak::next(const LocalView& view, rng::Rng&) {
+  while (!queue_.empty()) {
+    const VertexId v = queue_.front();
+    if (const auto e = view.first_unexplored(v)) return WeakRequest{v, *e};
+    queue_.pop_front();
+  }
+  return std::nullopt;
+}
+
+void BfsWeak::observe(const LocalView&, const WeakRequest&,
+                      VertexId revealed) {
+  // Duplicates are harmless: an exhausted vertex is popped by next() when
+  // first_unexplored comes back empty, so total queue churn stays O(m).
+  queue_.push_back(revealed);
+}
+
+void DfsWeak::start(const LocalView& view, rng::Rng&) {
+  stack_.clear();
+  stack_.push_back(view.start());
+}
+
+std::optional<WeakRequest> DfsWeak::next(const LocalView& view, rng::Rng&) {
+  while (!stack_.empty()) {
+    const VertexId v = stack_.back();
+    if (const auto e = view.first_unexplored(v)) return WeakRequest{v, *e};
+    stack_.pop_back();
+  }
+  return std::nullopt;
+}
+
+void DfsWeak::observe(const LocalView&, const WeakRequest&,
+                      VertexId revealed) {
+  stack_.push_back(revealed);
+}
+
+// ---------------------------------------------------------------- greedy
+
+PriorityGreedyWeak::PriorityGreedyWeak(Key key, std::string name)
+    : key_(std::move(key)), name_(std::move(name)) {}
+
+void PriorityGreedyWeak::start(const LocalView& view, rng::Rng&) {
+  heap_ = {};
+  push(view, view.start());
+}
+
+void PriorityGreedyWeak::push(const LocalView& view, VertexId v) {
+  heap_.push(Entry{key_(view, v), v});
+}
+
+std::optional<WeakRequest> PriorityGreedyWeak::next(const LocalView& view,
+                                                    rng::Rng&) {
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    if (const auto e = view.first_unexplored(top.v)) {
+      return WeakRequest{top.v, *e};
+    }
+    heap_.pop();  // exhausted vertex
+  }
+  return std::nullopt;
+}
+
+void PriorityGreedyWeak::observe(const LocalView& view, const WeakRequest&,
+                                 VertexId revealed) {
+  // A vertex may be pushed more than once (revealed via several edges);
+  // the exhaustion check in next() makes duplicates harmless.
+  push(view, revealed);
+}
+
+std::unique_ptr<WeakSearcher> make_degree_greedy_weak() {
+  return std::make_unique<PriorityGreedyWeak>(
+      [](const LocalView& view, VertexId v) {
+        return static_cast<double>(view.degree(v));
+      },
+      "degree-greedy");
+}
+
+std::unique_ptr<WeakSearcher> make_min_id_greedy_weak() {
+  return std::make_unique<PriorityGreedyWeak>(
+      [](const LocalView&, VertexId v) { return -static_cast<double>(v); },
+      "min-id-greedy");
+}
+
+std::unique_ptr<WeakSearcher> make_max_id_greedy_weak() {
+  return std::make_unique<PriorityGreedyWeak>(
+      [](const LocalView&, VertexId v) { return static_cast<double>(v); },
+      "max-id-greedy");
+}
+
+// ---------------------------------------------------------------- frontier
+
+void FrontierWalkWeak::start(const LocalView& view, rng::Rng&) {
+  current_ = view.start();
+}
+
+std::optional<WeakRequest> FrontierWalkWeak::next(const LocalView& view,
+                                                  rng::Rng& rng) {
+  if (const auto e = view.first_unexplored(current_)) {
+    return WeakRequest{current_, *e};
+  }
+  const auto inc = view.incident(current_);
+  if (inc.empty()) return std::nullopt;
+  // All incident edges explored: drift along one (free, raw-only request).
+  const graph::EdgeId e =
+      inc[static_cast<std::size_t>(rng.uniform_index(inc.size()))];
+  return WeakRequest{current_, e};
+}
+
+void FrontierWalkWeak::observe(const LocalView&, const WeakRequest&,
+                               VertexId revealed) {
+  current_ = revealed;
+}
+
+void RandomFrontierWeak::start(const LocalView& view, rng::Rng&) {
+  frontier_ = {view.start()};
+}
+
+std::optional<WeakRequest> RandomFrontierWeak::next(const LocalView& view,
+                                                    rng::Rng& rng) {
+  while (!frontier_.empty()) {
+    const auto idx =
+        static_cast<std::size_t>(rng.uniform_index(frontier_.size()));
+    const VertexId v = frontier_[idx];
+    if (const auto e = view.first_unexplored(v)) return WeakRequest{v, *e};
+    // Exhausted: swap-remove and retry.
+    frontier_[idx] = frontier_.back();
+    frontier_.pop_back();
+  }
+  return std::nullopt;
+}
+
+void RandomFrontierWeak::observe(const LocalView&, const WeakRequest&,
+                                 VertexId revealed) {
+  frontier_.push_back(revealed);
+}
+
+// ---------------------------------------------------------------- portfolio
+
+std::vector<std::unique_ptr<WeakSearcher>> weak_portfolio() {
+  std::vector<std::unique_ptr<WeakSearcher>> out;
+  out.push_back(std::make_unique<BfsWeak>());
+  out.push_back(std::make_unique<DfsWeak>());
+  out.push_back(make_degree_greedy_weak());
+  out.push_back(make_min_id_greedy_weak());
+  out.push_back(make_max_id_greedy_weak());
+  out.push_back(std::make_unique<RandomFrontierWeak>());
+  out.push_back(std::make_unique<FrontierWalkWeak>());
+  out.push_back(std::make_unique<NoBacktrackWalkWeak>());
+  out.push_back(std::make_unique<RandomWalkWeak>());
+  out.push_back(make_simulated_degree_greedy());
+  return out;
+}
+
+std::vector<std::string> weak_portfolio_names() {
+  std::vector<std::string> names;
+  for (const auto& s : weak_portfolio()) names.push_back(s->name());
+  return names;
+}
+
+}  // namespace sfs::search

@@ -1,0 +1,180 @@
+// Weak-model search policies.
+//
+// The paper's lower bound holds for *every* weak-model algorithm, so the
+// experiment suite runs a portfolio of natural policies and reports each —
+// the observed minimum over the portfolio is the empirical counterpart of
+// "no searching algorithm can do better than Ω(√n)":
+//
+//  * RandomWalkWeak     — uniform incident edge from the current vertex
+//                         (Adamic et al.'s random-walk baseline).
+//  * NoBacktrackWalkWeak— random walk that avoids the arrival edge when
+//                         possible.
+//  * BfsWeak            — exhaustive breadth-first frontier expansion; the
+//                         canonical optimal-up-to-constants blind strategy.
+//  * DfsWeak            — depth-first expansion.
+//  * DegreeGreedyWeak   — expand an unexplored edge of the highest-degree
+//                         discovered vertex (weak-model adaptation of
+//                         Adamic et al.'s high-degree strategy).
+//  * MinIdGreedyWeak    — expand the lowest-id (oldest) discovered vertex;
+//                         exploits the age/degree correlation of evolving
+//                         models to climb toward the core.
+//  * MaxIdGreedyWeak    — expand the highest-id (youngest) discovered
+//                         vertex; the natural "aim near the target id"
+//                         heuristic, which the equivalence theorem dooms.
+//  * RandomFrontierWeak — expand a uniformly random discovered vertex with
+//                         unexplored edges.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "search/searcher.hpp"
+
+namespace sfs::search {
+
+/// Pure random walk; measured both in charged requests (distinct edges) and
+/// raw steps.
+class RandomWalkWeak final : public WeakSearcher {
+ public:
+  void start(const LocalView& view, rng::Rng& rng) override;
+  std::optional<WeakRequest> next(const LocalView& view,
+                                  rng::Rng& rng) override;
+  void observe(const LocalView& view, const WeakRequest& request,
+               graph::VertexId revealed) override;
+  [[nodiscard]] std::string name() const override { return "random-walk"; }
+
+ private:
+  graph::VertexId current_ = graph::kNoVertex;
+};
+
+/// Random walk that never immediately re-traverses its arrival edge unless
+/// the current vertex is a degree-1 dead end.
+class NoBacktrackWalkWeak final : public WeakSearcher {
+ public:
+  void start(const LocalView& view, rng::Rng& rng) override;
+  std::optional<WeakRequest> next(const LocalView& view,
+                                  rng::Rng& rng) override;
+  void observe(const LocalView& view, const WeakRequest& request,
+               graph::VertexId revealed) override;
+  [[nodiscard]] std::string name() const override {
+    return "no-backtrack-walk";
+  }
+
+ private:
+  graph::VertexId current_ = graph::kNoVertex;
+  graph::EdgeId arrival_edge_ = graph::kNoEdge;
+};
+
+/// Breadth-first exhaustive exploration of the discovered region.
+class BfsWeak final : public WeakSearcher {
+ public:
+  void start(const LocalView& view, rng::Rng& rng) override;
+  std::optional<WeakRequest> next(const LocalView& view,
+                                  rng::Rng& rng) override;
+  void observe(const LocalView& view, const WeakRequest& request,
+               graph::VertexId revealed) override;
+  [[nodiscard]] std::string name() const override { return "bfs"; }
+
+ private:
+  std::deque<graph::VertexId> queue_;
+};
+
+/// Depth-first exploration.
+class DfsWeak final : public WeakSearcher {
+ public:
+  void start(const LocalView& view, rng::Rng& rng) override;
+  std::optional<WeakRequest> next(const LocalView& view,
+                                  rng::Rng& rng) override;
+  void observe(const LocalView& view, const WeakRequest& request,
+               graph::VertexId revealed) override;
+  [[nodiscard]] std::string name() const override { return "dfs"; }
+
+ private:
+  std::vector<graph::VertexId> stack_;
+};
+
+/// Priority-driven frontier expansion shared by the greedy policies: expand
+/// the first unexplored edge of the discovered vertex maximizing a key.
+class PriorityGreedyWeak : public WeakSearcher {
+ public:
+  /// Key function: larger key = expanded first.
+  using Key = std::function<double(const LocalView&, graph::VertexId)>;
+
+  PriorityGreedyWeak(Key key, std::string name);
+
+  void start(const LocalView& view, rng::Rng& rng) override;
+  std::optional<WeakRequest> next(const LocalView& view,
+                                  rng::Rng& rng) override;
+  void observe(const LocalView& view, const WeakRequest& request,
+               graph::VertexId revealed) override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  void push(const LocalView& view, graph::VertexId v);
+
+  struct Entry {
+    double key;
+    graph::VertexId v;
+    bool operator<(const Entry& other) const {
+      // max-heap by key; ties broken toward smaller id for determinism.
+      if (key != other.key) return key < other.key;
+      return v > other.v;
+    }
+  };
+
+  Key key_;
+  std::string name_;
+  std::priority_queue<Entry> heap_;
+};
+
+/// Expand the highest-degree discovered vertex first (Adamic-style).
+[[nodiscard]] std::unique_ptr<WeakSearcher> make_degree_greedy_weak();
+
+/// Expand the oldest (smallest-id) discovered vertex first.
+[[nodiscard]] std::unique_ptr<WeakSearcher> make_min_id_greedy_weak();
+
+/// Expand the youngest (largest-id) discovered vertex first.
+[[nodiscard]] std::unique_ptr<WeakSearcher> make_max_id_greedy_weak();
+
+/// Walk that explores an unexplored incident edge whenever the current
+/// vertex has one, and otherwise moves along a uniformly random (already
+/// explored, hence free) incident edge — a self-propelled frontier seeker
+/// midway between the pure walk and BFS.
+class FrontierWalkWeak final : public WeakSearcher {
+ public:
+  void start(const LocalView& view, rng::Rng& rng) override;
+  std::optional<WeakRequest> next(const LocalView& view,
+                                  rng::Rng& rng) override;
+  void observe(const LocalView& view, const WeakRequest& request,
+               graph::VertexId revealed) override;
+  [[nodiscard]] std::string name() const override { return "frontier-walk"; }
+
+ private:
+  graph::VertexId current_ = graph::kNoVertex;
+};
+
+/// Expand a uniformly random discovered vertex with unexplored edges.
+class RandomFrontierWeak final : public WeakSearcher {
+ public:
+  void start(const LocalView& view, rng::Rng& rng) override;
+  std::optional<WeakRequest> next(const LocalView& view,
+                                  rng::Rng& rng) override;
+  void observe(const LocalView& view, const WeakRequest& request,
+               graph::VertexId revealed) override;
+  [[nodiscard]] std::string name() const override {
+    return "random-frontier";
+  }
+
+ private:
+  std::vector<graph::VertexId> frontier_;
+};
+
+/// The full weak-model portfolio used by the experiments.
+[[nodiscard]] std::vector<std::unique_ptr<WeakSearcher>> weak_portfolio();
+
+/// Names in the same order as weak_portfolio().
+[[nodiscard]] std::vector<std::string> weak_portfolio_names();
+
+}  // namespace sfs::search

@@ -1,0 +1,28 @@
+#include "sim/csv.hpp"
+
+#include <ostream>
+
+namespace sfs::sim {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void write_csv_row(std::ostream& out, const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out << ',';
+    out << csv_escape(fields[i]);
+  }
+  out << '\n';
+}
+
+}  // namespace sfs::sim

@@ -1,0 +1,17 @@
+// Minimal RFC-4180 CSV emission, for piping experiment output into plotting
+// tools.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sfs::sim {
+
+/// Quotes a field if it contains a comma, quote or newline.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+/// Writes one CSV row (fields joined by commas, terminated by '\n').
+void write_csv_row(std::ostream& out, const std::vector<std::string>& fields);
+
+}  // namespace sfs::sim

@@ -1,0 +1,75 @@
+#include "sim/scaling.hpp"
+
+#include <cmath>
+
+#include "base/check.hpp"
+#include "rng/random.hpp"
+
+namespace sfs::sim {
+
+std::vector<double> ScalingSeries::means() const {
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (const auto& p : points) out.push_back(p.summary.mean);
+  return out;
+}
+
+std::vector<double> ScalingSeries::sizes() const {
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (const auto& p : points) out.push_back(static_cast<double>(p.n));
+  return out;
+}
+
+ScalingSeries measure_scaling(
+    const std::vector<std::size_t>& sizes, std::size_t reps,
+    std::uint64_t seed,
+    const std::function<double(std::size_t, std::uint64_t)>& measure) {
+  SFS_REQUIRE(!sizes.empty(), "empty size sweep");
+  SFS_REQUIRE(reps >= 1, "need at least one replication");
+  ScalingSeries series;
+  series.points.reserve(sizes.size());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    ScalingPoint point;
+    point.n = sizes[i];
+    point.raw.reserve(reps);
+    const std::uint64_t point_seed = rng::mix64(seed ^ (0x9e37 + i));
+    for (std::size_t r = 0; r < reps; ++r) {
+      point.raw.push_back(
+          measure(sizes[i], rng::derive_seed(point_seed, r)));
+    }
+    point.summary = stats::summarize(point.raw);
+    series.points.push_back(std::move(point));
+  }
+
+  // Fit over points with positive means.
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (const auto& p : series.points) {
+    if (p.summary.mean > 0.0) {
+      xs.push_back(static_cast<double>(p.n));
+      ys.push_back(p.summary.mean);
+    }
+  }
+  if (xs.size() >= 2) series.fit = stats::fit_power_law(xs, ys);
+  return series;
+}
+
+std::vector<std::size_t> geometric_sizes(std::size_t lo, std::size_t hi,
+                                         std::size_t count) {
+  SFS_REQUIRE(lo >= 1 && lo <= hi, "need 1 <= lo <= hi");
+  SFS_REQUIRE(count >= 2, "need at least two sizes");
+  std::vector<std::size_t> sizes;
+  const double ratio = std::pow(static_cast<double>(hi) / static_cast<double>(lo),
+                                1.0 / static_cast<double>(count - 1));
+  double x = static_cast<double>(lo);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto v = static_cast<std::size_t>(std::llround(x));
+    if (sizes.empty() || v > sizes.back()) sizes.push_back(v);
+    x *= ratio;
+  }
+  if (sizes.back() != hi) sizes.push_back(hi);
+  return sizes;
+}
+
+}  // namespace sfs::sim

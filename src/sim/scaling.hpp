@@ -1,0 +1,51 @@
+// Scaling experiments: measure a scalar quantity at a sweep of problem
+// sizes with independent replications, then fit the growth exponent.
+//
+// This is the workhorse of experiments E1-E3, E5, E7 and E8: "does measured
+// cost grow like n^b with the b the theorem predicts?"
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "stats/regression.hpp"
+#include "stats/summary.hpp"
+
+namespace sfs::sim {
+
+/// One sweep point: size n with its replicated measurements summarized.
+struct ScalingPoint {
+  std::size_t n = 0;
+  stats::Summary summary;
+  std::vector<double> raw;  // all replication values, for quantiles
+};
+
+/// A full sweep plus the fitted log-log slope over the point means.
+struct ScalingSeries {
+  std::vector<ScalingPoint> points;
+  stats::LinearFit fit;  // log(mean) vs log(n)
+
+  /// Means per point (same order as points).
+  [[nodiscard]] std::vector<double> means() const;
+  /// Sizes per point as doubles.
+  [[nodiscard]] std::vector<double> sizes() const;
+};
+
+/// Measures `measure(n, seed)` for every n in `sizes`, `reps` times each
+/// (seeds derived from `seed` deterministically; replication r of size
+/// index i uses derive_seed(seed ^ hash(i), r)), and fits the exponent.
+/// `measure` must return a positive value for the fit to be meaningful;
+/// non-positive values are recorded but excluded from the fit.
+[[nodiscard]] ScalingSeries measure_scaling(
+    const std::vector<std::size_t>& sizes, std::size_t reps,
+    std::uint64_t seed,
+    const std::function<double(std::size_t n, std::uint64_t seed)>& measure);
+
+/// Geometric grid of sizes from `lo` to `hi` (inclusive-ish) with `count`
+/// points, rounded to distinct integers.
+[[nodiscard]] std::vector<std::size_t> geometric_sizes(std::size_t lo,
+                                                       std::size_t hi,
+                                                       std::size_t count);
+
+}  // namespace sfs::sim

@@ -1,0 +1,129 @@
+#include "sim/sweep.hpp"
+
+#include <limits>
+
+#include "base/check.hpp"
+#include "rng/random.hpp"
+
+namespace sfs::sim {
+
+using graph::VertexId;
+
+namespace {
+
+template <typename Portfolio, typename RunOne>
+PortfolioCost measure_portfolio(const GraphFactory& factory,
+                                const EndpointSelector& endpoints,
+                                std::size_t reps, std::uint64_t seed,
+                                const Portfolio& portfolio_factory,
+                                const RunOne& run_one) {
+  SFS_REQUIRE(reps >= 1, "need at least one replication");
+  auto probe = portfolio_factory();
+  PortfolioCost out;
+  out.policies.resize(probe.size());
+  std::vector<stats::Accumulator> req_acc(probe.size());
+  std::vector<stats::Accumulator> raw_acc(probe.size());
+  std::vector<std::size_t> found(probe.size(), 0);
+  std::vector<std::vector<double>> req_raws(probe.size());
+
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    // One graph per replication, shared by all policies (paired design).
+    rng::Rng graph_rng(rng::derive_seed(seed, rep));
+    const graph::Graph g = factory(graph_rng);
+    rng::Rng endpoint_rng(rng::derive_seed(seed ^ 0xabcdef, rep));
+    const auto [start, target] = endpoints(g, endpoint_rng);
+
+    auto portfolio = portfolio_factory();
+    for (std::size_t i = 0; i < portfolio.size(); ++i) {
+      rng::Rng search_rng(rng::derive_seed(seed ^ (0x5ea7c4 + i), rep));
+      const search::SearchResult r =
+          run_one(g, start, target, *portfolio[i], search_rng);
+      req_acc[i].add(static_cast<double>(r.requests));
+      raw_acc[i].add(static_cast<double>(r.raw_requests));
+      req_raws[i].push_back(static_cast<double>(r.requests));
+      if (r.found) ++found[i];
+    }
+  }
+
+  auto portfolio = portfolio_factory();
+  for (std::size_t i = 0; i < portfolio.size(); ++i) {
+    out.policies[i].name = portfolio[i]->name();
+    out.policies[i].requests = req_acc[i].summary();
+    out.policies[i].raw_requests = raw_acc[i].summary();
+    out.policies[i].found_fraction =
+        static_cast<double>(found[i]) / static_cast<double>(reps);
+  }
+
+  // Best: lowest mean charged requests, preferring always-successful
+  // policies over ones that missed the target in some replication.
+  bool best_full = false;
+  double best_mean = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < out.policies.size(); ++i) {
+    const bool full = out.policies[i].found_fraction >= 1.0;
+    const double mean = out.policies[i].requests.mean;
+    if ((full && !best_full) || (full == best_full && mean < best_mean)) {
+      out.best = i;
+      best_full = full;
+      best_mean = mean;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+PortfolioCost measure_weak_portfolio(const GraphFactory& factory,
+                                     const EndpointSelector& endpoints,
+                                     std::size_t reps, std::uint64_t seed,
+                                     const search::RunBudget& budget) {
+  return measure_portfolio(
+      factory, endpoints, reps, seed, &search::weak_portfolio,
+      [&](const graph::Graph& g, VertexId s, VertexId t,
+          search::WeakSearcher& policy, rng::Rng& rng) {
+        return search::run_weak(g, s, t, policy, rng, budget);
+      });
+}
+
+PortfolioCost measure_strong_portfolio(const GraphFactory& factory,
+                                       const EndpointSelector& endpoints,
+                                       std::size_t reps, std::uint64_t seed,
+                                       const search::RunBudget& budget) {
+  return measure_portfolio(
+      factory, endpoints, reps, seed, &search::strong_portfolio,
+      [&](const graph::Graph& g, VertexId s, VertexId t,
+          search::StrongSearcher& policy, rng::Rng& rng) {
+        return search::run_strong(g, s, t, policy, rng, budget);
+      });
+}
+
+EndpointSelector oldest_to_newest() {
+  return [](const graph::Graph& g, rng::Rng&) {
+    SFS_REQUIRE(g.num_vertices() >= 2, "graph too small");
+    return std::pair<VertexId, VertexId>{
+        0, static_cast<VertexId>(g.num_vertices() - 1)};
+  };
+}
+
+EndpointSelector random_to_newest() {
+  return [](const graph::Graph& g, rng::Rng& rng) {
+    SFS_REQUIRE(g.num_vertices() >= 2, "graph too small");
+    const auto target = static_cast<VertexId>(g.num_vertices() - 1);
+    VertexId start;
+    do {
+      start = static_cast<VertexId>(rng.uniform_index(g.num_vertices()));
+    } while (start == target);
+    return std::pair<VertexId, VertexId>{start, target};
+  };
+}
+
+EndpointSelector newest_to_paper_id(std::size_t paper_id) {
+  return [paper_id](const graph::Graph& g, rng::Rng&) {
+    SFS_REQUIRE(paper_id >= 1 && paper_id <= g.num_vertices(),
+                "paper id out of range");
+    return std::pair<VertexId, VertexId>{
+        static_cast<VertexId>(g.num_vertices() - 1),
+        static_cast<VertexId>(paper_id - 1)};
+  };
+}
+
+}  // namespace sfs::sim

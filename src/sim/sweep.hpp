@@ -1,0 +1,72 @@
+// Portfolio search-cost measurement: run every weak (or strong) policy on
+// freshly generated graphs and summarize the charged-request cost per
+// policy. The minimum over the portfolio is the empirical stand-in for
+// "any algorithm" in the lower-bound experiments.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "search/runner.hpp"
+#include "search/strong_algorithms.hpp"
+#include "search/weak_algorithms.hpp"
+#include "stats/summary.hpp"
+
+namespace sfs::sim {
+
+/// Builds one experiment graph from a replication RNG.
+using GraphFactory = std::function<graph::Graph(rng::Rng& rng)>;
+
+/// Picks start/target on a freshly built graph (e.g. "vertex 0" and "last
+/// vertex"). Called per replication.
+using EndpointSelector =
+    std::function<std::pair<graph::VertexId, graph::VertexId>(
+        const graph::Graph& g, rng::Rng& rng)>;
+
+/// Per-policy cost summary over the replications.
+struct PolicyCost {
+  std::string name;
+  stats::Summary requests;       // charged requests
+  stats::Summary raw_requests;   // incl. repeats (walks)
+  double found_fraction = 0.0;   // replications that reached the target
+};
+
+struct PortfolioCost {
+  std::vector<PolicyCost> policies;
+  /// Index into policies of the best (lowest mean charged requests among
+  /// policies that always found the target; falls back to lowest mean).
+  std::size_t best = 0;
+
+  [[nodiscard]] const PolicyCost& best_policy() const {
+    return policies.at(best);
+  }
+};
+
+/// Measures the full weak portfolio (weak_portfolio()) on `reps` fresh
+/// graphs. Every policy sees the same sequence of graphs (same graph seeds)
+/// so the comparison is paired.
+[[nodiscard]] PortfolioCost measure_weak_portfolio(
+    const GraphFactory& factory, const EndpointSelector& endpoints,
+    std::size_t reps, std::uint64_t seed,
+    const search::RunBudget& budget = {});
+
+/// Same for the strong portfolio (strong_portfolio()).
+[[nodiscard]] PortfolioCost measure_strong_portfolio(
+    const GraphFactory& factory, const EndpointSelector& endpoints,
+    std::size_t reps, std::uint64_t seed,
+    const search::RunBudget& budget = {});
+
+/// Selector: start at vertex 0 (the paper's oldest vertex), target the last
+/// vertex (the paper's vertex n).
+[[nodiscard]] EndpointSelector oldest_to_newest();
+
+/// Selector: uniform random start, target the last vertex.
+[[nodiscard]] EndpointSelector random_to_newest();
+
+/// Selector: start at the last vertex, target a fixed paper id (1-based).
+[[nodiscard]] EndpointSelector newest_to_paper_id(std::size_t paper_id);
+
+}  // namespace sfs::sim

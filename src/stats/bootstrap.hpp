@@ -1,0 +1,36 @@
+// Nonparametric bootstrap confidence intervals.
+//
+// Experiments report bootstrap CIs for derived statistics (e.g. fitted
+// scaling exponents) where the normal approximation is dubious.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "rng/random.hpp"
+
+namespace sfs::stats {
+
+/// Percentile bootstrap interval for an arbitrary statistic of a sample.
+struct BootstrapCi {
+  double point = 0.0;  // statistic on the original sample
+  double lo = 0.0;     // lower percentile bound
+  double hi = 0.0;     // upper percentile bound
+  std::size_t replicates = 0;
+};
+
+/// Computes the statistic on `replicates` resamples (with replacement) of
+/// `data` and returns the [alpha/2, 1-alpha/2] percentile interval.
+/// `statistic` must accept any non-empty sample of the same size.
+[[nodiscard]] BootstrapCi bootstrap_ci(
+    std::span<const double> data,
+    const std::function<double(std::span<const double>)>& statistic,
+    std::size_t replicates, double alpha, rng::Rng& rng);
+
+/// Convenience: bootstrap CI of the sample mean.
+[[nodiscard]] BootstrapCi bootstrap_mean_ci(std::span<const double> data,
+                                            std::size_t replicates,
+                                            double alpha, rng::Rng& rng);
+
+}  // namespace sfs::stats

@@ -1,0 +1,78 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.hpp"
+
+namespace sfs::stats {
+
+void IntHistogram::add(std::uint64_t value, std::uint64_t count) {
+  if (value >= bins_.size()) bins_.resize(value + 1, 0);
+  bins_[value] += count;
+  total_ += count;
+}
+
+std::uint64_t IntHistogram::count(std::uint64_t value) const noexcept {
+  return value < bins_.size() ? bins_[value] : 0;
+}
+
+std::uint64_t IntHistogram::max_value() const noexcept {
+  for (std::size_t i = bins_.size(); i-- > 0;) {
+    if (bins_[i] > 0) return i;
+  }
+  return 0;
+}
+
+double IntHistogram::pmf(std::uint64_t value) const noexcept {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(value)) / static_cast<double>(total_);
+}
+
+double IntHistogram::ccdf(std::uint64_t value) const noexcept {
+  if (total_ == 0) return 0.0;
+  std::uint64_t at_least = 0;
+  for (std::size_t i = static_cast<std::size_t>(value); i < bins_.size(); ++i)
+    at_least += bins_[i];
+  return static_cast<double>(at_least) / static_cast<double>(total_);
+}
+
+std::vector<LogBin> log_binned(std::span<const std::size_t> values,
+                               double base) {
+  SFS_REQUIRE(base > 1.0, "log binning needs base > 1");
+  std::vector<LogBin> bins;
+  if (values.empty()) return bins;
+  std::size_t vmax = 0;
+  for (const std::size_t v : values) {
+    SFS_REQUIRE(v > 0, "log binning needs strictly positive values");
+    vmax = std::max(vmax, v);
+  }
+  // Build bin edges b^0, b^1, ... rounded to distinct integers.
+  std::vector<std::uint64_t> edges{1};
+  double edge = 1.0;
+  while (edges.back() <= vmax) {
+    edge *= base;
+    const auto next = static_cast<std::uint64_t>(std::ceil(edge));
+    if (next > edges.back()) edges.push_back(next);
+  }
+  bins.resize(edges.size() - 1);
+  for (std::size_t i = 0; i + 1 < edges.size(); ++i) {
+    bins[i].lo = edges[i];
+    bins[i].hi = edges[i + 1];
+    bins[i].center = std::sqrt(static_cast<double>(edges[i]) *
+                               static_cast<double>(edges[i + 1] - 1));
+  }
+  for (const std::size_t v : values) {
+    const auto it = std::upper_bound(edges.begin(), edges.end(), v);
+    const auto idx = static_cast<std::size_t>(it - edges.begin()) - 1;
+    ++bins[idx].count;
+  }
+  const double total = static_cast<double>(values.size());
+  for (LogBin& b : bins) {
+    const double width = static_cast<double>(b.hi - b.lo);
+    b.density = static_cast<double>(b.count) / (total * width);
+  }
+  return bins;
+}
+
+}  // namespace sfs::stats

@@ -1,0 +1,48 @@
+// Histograms over integer observations (degrees, request counts), with
+// logarithmic binning for heavy-tailed data.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sfs::stats {
+
+/// Exact integer histogram: bin i counts occurrences of value i.
+class IntHistogram {
+ public:
+  void add(std::uint64_t value, std::uint64_t count = 1);
+
+  [[nodiscard]] std::uint64_t count(std::uint64_t value) const noexcept;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t max_value() const noexcept;
+
+  /// P(X = v) over the recorded sample.
+  [[nodiscard]] double pmf(std::uint64_t value) const noexcept;
+  /// P(X >= v) over the recorded sample.
+  [[nodiscard]] double ccdf(std::uint64_t value) const noexcept;
+
+  [[nodiscard]] std::span<const std::uint64_t> bins() const noexcept {
+    return bins_;
+  }
+
+ private:
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+/// One bin of a logarithmic histogram.
+struct LogBin {
+  std::uint64_t lo = 0;     // inclusive
+  std::uint64_t hi = 0;     // exclusive
+  std::uint64_t count = 0;
+  double density = 0.0;     // count / (total * width) — comparable across bins
+  double center = 0.0;      // geometric center of [lo, hi)
+};
+
+/// Bins positive integer values into multiplicative buckets
+/// [b^k, b^{k+1}). Values of 0 are rejected. `base` must be > 1.
+[[nodiscard]] std::vector<LogBin> log_binned(
+    std::span<const std::size_t> values, double base = 2.0);
+
+}  // namespace sfs::stats

@@ -1,0 +1,71 @@
+#include "stats/regression.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "base/check.hpp"
+
+namespace sfs::stats {
+
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  SFS_REQUIRE(xs.size() == ys.size(), "x/y size mismatch");
+  SFS_REQUIRE(xs.size() >= 2, "need at least two points to fit a line");
+  const auto n = static_cast<double>(xs.size());
+
+  double sx = 0.0;
+  double sy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  SFS_REQUIRE(sxx > 0.0, "x values are all equal; slope undefined");
+
+  LinearFit fit;
+  fit.count = xs.size();
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+
+  // Residual variance and derived diagnostics.
+  double ssr = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double r = ys[i] - fit.at(xs[i]);
+    ssr += r * r;
+  }
+  if (syy > 0.0) fit.r_squared = 1.0 - ssr / syy;
+  if (xs.size() > 2) {
+    const double sigma2 = ssr / (n - 2.0);
+    fit.slope_stderr = std::sqrt(sigma2 / sxx);
+  }
+  return fit;
+}
+
+LinearFit fit_power_law(std::span<const double> xs,
+                        std::span<const double> ys) {
+  SFS_REQUIRE(xs.size() == ys.size(), "x/y size mismatch");
+  std::vector<double> lx;
+  std::vector<double> ly;
+  lx.reserve(xs.size());
+  ly.reserve(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    SFS_REQUIRE(xs[i] > 0.0 && ys[i] > 0.0,
+                "fit_power_law needs strictly positive data");
+    lx.push_back(std::log(xs[i]));
+    ly.push_back(std::log(ys[i]));
+  }
+  return fit_line(lx, ly);
+}
+
+}  // namespace sfs::stats

@@ -1,0 +1,37 @@
+// Least-squares line fitting, including the log-log variant used to
+// estimate scaling exponents (cost ~ c * n^b  ==>  log cost = log c + b log n).
+//
+// Every experiment that claims a polynomial growth rate reports the fitted
+// slope, its standard error, and R^2, so that "slope ≈ 0.5" is a statistical
+// statement rather than eyeballing.
+#pragma once
+
+#include <span>
+
+namespace sfs::stats {
+
+/// Ordinary least squares fit of y = intercept + slope * x.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double slope_stderr = 0.0;  // 0 for n <= 2
+  double r_squared = 0.0;     // 1 for a perfect fit; 0 when y has no variance
+  std::size_t count = 0;
+
+  /// Predicted y at x.
+  [[nodiscard]] double at(double x) const noexcept {
+    return intercept + slope * x;
+  }
+};
+
+/// Fits y against x. Requires xs.size() == ys.size() >= 2 and xs not all
+/// equal.
+[[nodiscard]] LinearFit fit_line(std::span<const double> xs,
+                                 std::span<const double> ys);
+
+/// Fits log(y) against log(x): the returned slope is the scaling exponent b
+/// in y ~ c x^b and the intercept is log(c). Requires all inputs > 0.
+[[nodiscard]] LinearFit fit_power_law(std::span<const double> xs,
+                                      std::span<const double> ys);
+
+}  // namespace sfs::stats

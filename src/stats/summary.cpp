@@ -1,0 +1,59 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.hpp"
+
+namespace sfs::stats {
+
+void Accumulator::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+Summary Accumulator::summary() const noexcept {
+  Summary s;
+  s.count = count_;
+  if (count_ == 0) return s;
+  s.mean = mean_;
+  s.min = min_;
+  s.max = max_;
+  if (count_ >= 2) {
+    s.variance = m2_ / static_cast<double>(count_ - 1);
+    s.stddev = std::sqrt(s.variance);
+    s.stderr_mean = s.stddev / std::sqrt(static_cast<double>(count_));
+  }
+  return s;
+}
+
+Summary summarize(std::span<const double> xs) {
+  Accumulator acc;
+  for (const double x : xs) acc.add(x);
+  return acc.summary();
+}
+
+double quantile(std::span<const double> xs, double q) {
+  SFS_REQUIRE(!xs.empty(), "quantile of empty sample");
+  SFS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile level must be in [0,1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+}  // namespace sfs::stats

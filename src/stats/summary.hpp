@@ -1,0 +1,54 @@
+// Summary statistics for replicated measurements.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sfs::stats {
+
+/// Mean, variance, extremes and confidence half-width of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;   // unbiased (n-1) sample variance
+  double stddev = 0.0;
+  double stderr_mean = 0.0;  // stddev / sqrt(n)
+  double min = 0.0;
+  double max = 0.0;
+
+  /// Half-width of the normal-approximation 95% confidence interval for the
+  /// mean (1.96 * stderr). Zero for n < 2.
+  [[nodiscard]] double ci95_halfwidth() const noexcept {
+    return 1.96 * stderr_mean;
+  }
+};
+
+/// Computes all Summary fields in one pass (Welford). Empty input gives an
+/// all-zero summary with count == 0.
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// q-th sample quantile (0 <= q <= 1) with linear interpolation; the input
+/// need not be sorted (a sorted copy is made).
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Median (quantile 0.5).
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Online accumulator for streaming summaries (Welford's algorithm).
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] Summary summary() const noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace sfs::stats

@@ -1,0 +1,45 @@
+// Tests for the precondition / invariant macros.
+#include "base/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Check, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(SFS_REQUIRE(1 + 1 == 2, "arithmetic"));
+}
+
+TEST(Check, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(SFS_REQUIRE(false, "boom"), std::invalid_argument);
+}
+
+TEST(Check, RequireMessageContainsExpressionAndNote) {
+  try {
+    SFS_REQUIRE(2 < 1, "my context note");
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("2 < 1"), std::string::npos);
+    EXPECT_NE(msg.find("my context note"), std::string::npos);
+  }
+}
+
+TEST(Check, CheckThrowsLogicError) {
+  EXPECT_THROW(SFS_CHECK(false, "invariant"), std::logic_error);
+}
+
+TEST(Check, CheckPassesOnTrue) {
+  EXPECT_NO_THROW(SFS_CHECK(true, ""));
+}
+
+TEST(Check, SideEffectsEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto f = [&] {
+    ++calls;
+    return true;
+  };
+  SFS_REQUIRE(f(), "once");
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+// Tests for degree statistics.
+#include "graph/degree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+
+namespace {
+
+using sfs::graph::degree_ccdf;
+using sfs::graph::degree_histogram;
+using sfs::graph::degree_of;
+using sfs::graph::degree_sequence;
+using sfs::graph::DegreeKind;
+using sfs::graph::Graph;
+using sfs::graph::GraphBuilder;
+using sfs::graph::max_degree;
+using sfs::graph::mean_degree;
+
+Graph fixture() {
+  // 0 -> 1, 0 -> 1, 2 -> 0, 3 isolated, 1 -> 1 (loop)
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(0, 1);
+  b.add_edge(2, 0);
+  b.add_edge(1, 1);
+  return b.build();
+}
+
+TEST(DegreeOf, AllKinds) {
+  const Graph g = fixture();
+  EXPECT_EQ(degree_of(g, 0, DegreeKind::kUndirected), 3u);
+  EXPECT_EQ(degree_of(g, 0, DegreeKind::kIn), 1u);
+  EXPECT_EQ(degree_of(g, 0, DegreeKind::kOut), 2u);
+  EXPECT_EQ(degree_of(g, 0, DegreeKind::kTotal), 3u);
+  EXPECT_EQ(degree_of(g, 1, DegreeKind::kUndirected), 4u);  // loop counts 2
+  EXPECT_EQ(degree_of(g, 1, DegreeKind::kIn), 3u);
+  EXPECT_EQ(degree_of(g, 1, DegreeKind::kOut), 1u);
+  EXPECT_EQ(degree_of(g, 3, DegreeKind::kUndirected), 0u);
+}
+
+TEST(DegreeSequence, MatchesPerVertex) {
+  const Graph g = fixture();
+  const auto seq = degree_sequence(g, DegreeKind::kUndirected);
+  ASSERT_EQ(seq.size(), 4u);
+  EXPECT_EQ(seq[0], 3u);
+  EXPECT_EQ(seq[1], 4u);
+  EXPECT_EQ(seq[2], 1u);
+  EXPECT_EQ(seq[3], 0u);
+}
+
+TEST(DegreeHistogram, CountsMatch) {
+  const Graph g = fixture();
+  const auto hist = degree_histogram(g, DegreeKind::kUndirected);
+  ASSERT_EQ(hist.size(), 5u);
+  EXPECT_EQ(hist[0], 1u);
+  EXPECT_EQ(hist[1], 1u);
+  EXPECT_EQ(hist[2], 0u);
+  EXPECT_EQ(hist[3], 1u);
+  EXPECT_EQ(hist[4], 1u);
+}
+
+TEST(DegreeCcdf, MonotoneDecreasingAndNormalized) {
+  const Graph g = fixture();
+  const auto ccdf = degree_ccdf(g, DegreeKind::kUndirected);
+  ASSERT_FALSE(ccdf.empty());
+  // First observed degree >= 1 is 1; P(D >= 1) = 3/4 (vertex 3 has deg 0).
+  EXPECT_EQ(ccdf.front().first, 1u);
+  EXPECT_DOUBLE_EQ(ccdf.front().second, 0.75);
+  for (std::size_t i = 1; i < ccdf.size(); ++i) {
+    EXPECT_LT(ccdf[i - 1].first, ccdf[i].first);
+    EXPECT_GE(ccdf[i - 1].second, ccdf[i].second);
+  }
+  EXPECT_DOUBLE_EQ(ccdf.back().second, 0.25);  // only vertex 1 has deg >= 4
+}
+
+TEST(MaxDegree, PerKind) {
+  const Graph g = fixture();
+  EXPECT_EQ(max_degree(g, DegreeKind::kUndirected), 4u);
+  EXPECT_EQ(max_degree(g, DegreeKind::kIn), 3u);
+  EXPECT_EQ(max_degree(g, DegreeKind::kOut), 2u);
+}
+
+TEST(MeanDegree, HandshakeConsistency) {
+  const Graph g = fixture();
+  EXPECT_DOUBLE_EQ(mean_degree(g, DegreeKind::kUndirected),
+                   2.0 * static_cast<double>(g.num_edges()) /
+                       static_cast<double>(g.num_vertices()));
+  EXPECT_DOUBLE_EQ(mean_degree(g, DegreeKind::kIn),
+                   static_cast<double>(g.num_edges()) /
+                       static_cast<double>(g.num_vertices()));
+}
+
+TEST(MeanDegree, EmptyGraphIsZero) {
+  const Graph g = GraphBuilder(0).build();
+  EXPECT_DOUBLE_EQ(mean_degree(g, DegreeKind::kUndirected), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,220 @@
+// Tests for the weighted samplers.
+#include "rng/discrete.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+namespace {
+
+using sfs::rng::AliasTable;
+using sfs::rng::CdfSampler;
+using sfs::rng::FenwickSampler;
+using sfs::rng::RepeatArray;
+using sfs::rng::Rng;
+
+std::vector<double> empirical_freq(const std::function<std::size_t(Rng&)>& draw,
+                                   std::size_t outcomes, int n, Rng& rng) {
+  std::vector<double> freq(outcomes, 0.0);
+  for (int i = 0; i < n; ++i) freq[draw(rng)] += 1.0;
+  for (double& f : freq) f /= n;
+  return freq;
+}
+
+// ------------------------------------------------------------- AliasTable
+
+TEST(AliasTable, SingleOutcome) {
+  const std::vector<double> w{3.0};
+  AliasTable t{std::span<const double>(w)};
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(t.sample(rng), 0u);
+}
+
+TEST(AliasTable, MatchesWeights) {
+  const std::vector<double> w{1.0, 2.0, 3.0, 4.0};
+  AliasTable t{std::span<const double>(w)};
+  Rng rng(2);
+  const auto freq = empirical_freq(
+      [&](Rng& r) { return t.sample(r); }, 4, 200000, rng);
+  EXPECT_NEAR(freq[0], 0.1, 0.01);
+  EXPECT_NEAR(freq[1], 0.2, 0.01);
+  EXPECT_NEAR(freq[2], 0.3, 0.01);
+  EXPECT_NEAR(freq[3], 0.4, 0.01);
+}
+
+TEST(AliasTable, ZeroWeightNeverSampled) {
+  const std::vector<double> w{1.0, 0.0, 1.0};
+  AliasTable t{std::span<const double>(w)};
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(t.sample(rng), 1u);
+}
+
+TEST(AliasTable, RejectsEmpty) {
+  const std::vector<double> w{};
+  EXPECT_THROW(AliasTable{std::span<const double>(w)}, std::invalid_argument);
+}
+
+TEST(AliasTable, RejectsNegative) {
+  const std::vector<double> w{1.0, -0.5};
+  EXPECT_THROW(AliasTable{std::span<const double>(w)}, std::invalid_argument);
+}
+
+TEST(AliasTable, RejectsAllZero) {
+  const std::vector<double> w{0.0, 0.0};
+  EXPECT_THROW(AliasTable{std::span<const double>(w)}, std::invalid_argument);
+}
+
+TEST(AliasTable, HandlesExtremeSkew) {
+  const std::vector<double> w{1e-12, 1.0};
+  AliasTable t{std::span<const double>(w)};
+  Rng rng(4);
+  int zeros = 0;
+  for (int i = 0; i < 100000; ++i) zeros += t.sample(rng) == 0 ? 1 : 0;
+  EXPECT_LE(zeros, 2);
+}
+
+// ------------------------------------------------------------- CdfSampler
+
+TEST(CdfSampler, ProbabilityAccessors) {
+  const std::vector<double> w{1.0, 3.0};
+  CdfSampler s{std::span<const double>(w)};
+  EXPECT_DOUBLE_EQ(s.total_weight(), 4.0);
+  EXPECT_DOUBLE_EQ(s.probability(0), 0.25);
+  EXPECT_DOUBLE_EQ(s.probability(1), 0.75);
+  EXPECT_THROW((void)s.probability(2), std::invalid_argument);
+}
+
+TEST(CdfSampler, MatchesWeights) {
+  const std::vector<double> w{2.0, 1.0, 1.0};
+  CdfSampler s{std::span<const double>(w)};
+  Rng rng(5);
+  const auto freq = empirical_freq(
+      [&](Rng& r) { return s.sample(r); }, 3, 100000, rng);
+  EXPECT_NEAR(freq[0], 0.5, 0.01);
+  EXPECT_NEAR(freq[1], 0.25, 0.01);
+  EXPECT_NEAR(freq[2], 0.25, 0.01);
+}
+
+TEST(CdfSampler, SkipsZeroWeightOutcomes) {
+  const std::vector<double> w{0.0, 1.0, 0.0};
+  CdfSampler s{std::span<const double>(w)};
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(s.sample(rng), 1u);
+}
+
+// --------------------------------------------------------- FenwickSampler
+
+TEST(FenwickSampler, WeightRoundTrip) {
+  FenwickSampler f(5);
+  f.set_weight(0, 1.5);
+  f.set_weight(3, 2.5);
+  EXPECT_DOUBLE_EQ(f.weight(0), 1.5);
+  EXPECT_DOUBLE_EQ(f.weight(1), 0.0);
+  EXPECT_DOUBLE_EQ(f.weight(3), 2.5);
+  EXPECT_NEAR(f.total_weight(), 4.0, 1e-12);
+}
+
+TEST(FenwickSampler, AddAccumulates) {
+  FenwickSampler f(3);
+  f.add(1, 1.0);
+  f.add(1, 2.0);
+  EXPECT_DOUBLE_EQ(f.weight(1), 3.0);
+}
+
+TEST(FenwickSampler, SampleMatchesWeights) {
+  FenwickSampler f(4);
+  f.set_weight(0, 1.0);
+  f.set_weight(1, 2.0);
+  f.set_weight(2, 3.0);
+  f.set_weight(3, 4.0);
+  Rng rng(7);
+  const auto freq = empirical_freq(
+      [&](Rng& r) { return f.sample(r); }, 4, 200000, rng);
+  EXPECT_NEAR(freq[0], 0.1, 0.01);
+  EXPECT_NEAR(freq[1], 0.2, 0.01);
+  EXPECT_NEAR(freq[2], 0.3, 0.01);
+  EXPECT_NEAR(freq[3], 0.4, 0.01);
+}
+
+TEST(FenwickSampler, DynamicUpdateShiftsMass) {
+  FenwickSampler f(2);
+  f.set_weight(0, 1.0);
+  f.set_weight(1, 1.0);
+  f.set_weight(0, 0.0);
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(f.sample(rng), 1u);
+}
+
+TEST(FenwickSampler, PushBackGrows) {
+  FenwickSampler f;
+  EXPECT_EQ(f.push_back(1.0), 0u);
+  EXPECT_EQ(f.push_back(2.0), 1u);
+  EXPECT_EQ(f.push_back(3.0), 2u);
+  EXPECT_EQ(f.size(), 3u);
+  EXPECT_DOUBLE_EQ(f.weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(f.weight(1), 2.0);
+  EXPECT_DOUBLE_EQ(f.weight(2), 3.0);
+  EXPECT_NEAR(f.total_weight(), 6.0, 1e-12);
+}
+
+TEST(FenwickSampler, PushBackManyKeepsPrefixSums) {
+  FenwickSampler f;
+  for (int i = 1; i <= 100; ++i) f.push_back(static_cast<double>(i));
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_NEAR(f.weight(i), static_cast<double>(i + 1), 1e-9);
+  }
+  EXPECT_NEAR(f.total_weight(), 5050.0, 1e-9);
+}
+
+TEST(FenwickSampler, PushBackThenSample) {
+  FenwickSampler f;
+  f.push_back(0.0);
+  f.push_back(5.0);
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(f.sample(rng), 1u);
+}
+
+TEST(FenwickSampler, SampleEmptyThrows) {
+  FenwickSampler f(3);
+  Rng rng(10);
+  EXPECT_THROW((void)f.sample(rng), std::invalid_argument);
+}
+
+TEST(FenwickSampler, OutOfRangeThrows) {
+  FenwickSampler f(2);
+  EXPECT_THROW((void)f.weight(2), std::invalid_argument);
+  EXPECT_THROW(f.add(2, 1.0), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ RepeatArray
+
+TEST(RepeatArray, CountsUnits) {
+  RepeatArray bag;
+  bag.push(3);
+  bag.push(3);
+  bag.push(7);
+  EXPECT_EQ(bag.size(), 3u);
+  EXPECT_EQ(bag.count(3), 2u);
+  EXPECT_EQ(bag.count(7), 1u);
+  EXPECT_EQ(bag.count(5), 0u);
+}
+
+TEST(RepeatArray, SampleProportionalToUnits) {
+  RepeatArray bag;
+  for (int i = 0; i < 3; ++i) bag.push(0);
+  bag.push(1);
+  Rng rng(11);
+  int zeros = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) zeros += bag.sample(rng) == 0 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(zeros) / kDraws, 0.75, 0.01);
+}
+
+TEST(RepeatArray, SampleEmptyThrows) {
+  RepeatArray bag;
+  Rng rng(12);
+  EXPECT_THROW((void)bag.sample(rng), std::invalid_argument);
+}
+
+}  // namespace

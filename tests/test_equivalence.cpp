@@ -1,0 +1,155 @@
+// Tests for the vertex-equivalence machinery (Lemmas 1-3).
+#include "core/equivalence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/theory.hpp"
+
+namespace {
+
+using sfs::core::estimate_cf_event_probability;
+using sfs::core::estimate_event_probability;
+using sfs::core::event_holds;
+using sfs::core::window_feature_stats;
+using sfs::graph::kNoVertex;
+using sfs::graph::VertexId;
+
+TEST(EventHolds, ManualExamples) {
+  // Paper ids: vertex k = internal k-1. fathers[] is internal.
+  // Tree on 6 vertices: fathers of paper vertices 2..6.
+  // E_{3,5}: paper vertices 4 and 5 must have fathers with paper id <= 3.
+  const std::vector<VertexId> ok{kNoVertex, 0, 1, 2, 0, 3};
+  // paper 4 (idx 3): father internal 2 = paper 3 <= 3 ✓
+  // paper 5 (idx 4): father internal 0 = paper 1 <= 3 ✓
+  EXPECT_TRUE(event_holds(ok, 3, 5));
+
+  const std::vector<VertexId> bad{kNoVertex, 0, 1, 2, 3, 3};
+  // paper 5 (idx 4): father internal 3 = paper 4 > 3 ✗
+  EXPECT_FALSE(event_holds(bad, 3, 5));
+}
+
+TEST(EventHolds, EmptyWindowAlwaysHolds) {
+  const std::vector<VertexId> f{kNoVertex, 0, 0};
+  EXPECT_TRUE(event_holds(f, 3, 3));
+}
+
+TEST(EventHolds, Preconditions) {
+  const std::vector<VertexId> f{kNoVertex, 0, 0};
+  EXPECT_THROW((void)event_holds(f, 1, 2), std::invalid_argument);
+  EXPECT_THROW((void)event_holds(f, 3, 2), std::invalid_argument);
+  EXPECT_THROW((void)event_holds(f, 2, 9), std::invalid_argument);
+}
+
+TEST(Lemma3, ProbabilityOneAtPEqualsOne) {
+  // Pure indegree preference: fresh vertices have weight 0, so no window
+  // vertex can ever be chosen as a father.
+  const auto est = estimate_event_probability(1.0, 50,
+                                              sfs::core::theory::lemma3_window_end(50),
+                                              500, 42);
+  EXPECT_DOUBLE_EQ(est.probability, 1.0);
+}
+
+class Lemma3Bound : public ::testing::TestWithParam<double> {};
+
+TEST_P(Lemma3Bound, EstimateRespectsTheBound) {
+  const double p = GetParam();
+  const std::size_t a = 400;
+  const std::size_t b = sfs::core::theory::lemma3_window_end(a);
+  const auto est = estimate_event_probability(p, a, b, 3000, 7);
+  const double bound = sfs::core::theory::lemma3_bound(p);
+  // Allow 3 binomial standard errors of slack below the bound.
+  EXPECT_GE(est.probability, bound - 3.0 * est.stderr_est)
+      << "p=" << p << " bound=" << bound;
+  EXPECT_EQ(est.reps, 3000u);
+  EXPECT_EQ(est.hits, static_cast<std::size_t>(
+                          std::llround(est.probability * 3000.0)));
+}
+
+INSTANTIATE_TEST_SUITE_P(PSweep, Lemma3Bound,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+TEST(Lemma3, SmallerUniformShareRaisesProbability) {
+  const std::size_t a = 256;
+  const std::size_t b = sfs::core::theory::lemma3_window_end(a);
+  const auto lo = estimate_event_probability(0.2, a, b, 3000, 11);
+  const auto hi = estimate_event_probability(0.9, a, b, 3000, 12);
+  EXPECT_GT(hi.probability, lo.probability);
+}
+
+TEST(WindowFeatures, ExchangeabilityOfConditionalMeans) {
+  // Lemma 2: conditional on E_{a,b}, window positions are exchangeable, so
+  // the per-position conditional mean indegree (and leaf probability) must
+  // agree across the window up to Monte-Carlo noise.
+  const std::size_t a = 64;
+  const std::size_t b = sfs::core::theory::lemma3_window_end(a);  // 64+7
+  const auto st = window_feature_stats(0.5, a, b, 200, 4000, 13);
+  ASSERT_EQ(st.mean_final_indegree.size(), b - a);
+  ASSERT_GT(st.accepted, 500u);
+  double lo = 1e18;
+  double hi = -1e18;
+  for (const double m : st.mean_final_indegree) {
+    lo = std::min(lo, m);
+    hi = std::max(hi, m);
+  }
+  // Means are O(1); equality up to noise: spread below 0.25 absolute.
+  EXPECT_LT(hi - lo, 0.25) << "indegree means spread";
+  double plo = 1.0;
+  double phi = 0.0;
+  for (const double q : st.leaf_probability) {
+    plo = std::min(plo, q);
+    phi = std::max(phi, q);
+  }
+  EXPECT_LT(phi - plo, 0.1) << "leaf probability spread";
+}
+
+TEST(WindowFeatures, AcceptanceMatchesEventProbability) {
+  const std::size_t a = 100;
+  const std::size_t b = sfs::core::theory::lemma3_window_end(a);
+  const auto st = window_feature_stats(0.5, a, b, 150, 2000, 17);
+  const auto est = estimate_event_probability(0.5, a, b, 2000, 17);
+  const double acc_rate =
+      static_cast<double>(st.accepted) / static_cast<double>(st.attempted);
+  EXPECT_NEAR(acc_rate, est.probability, 0.05);
+}
+
+TEST(WindowFeatures, Preconditions) {
+  EXPECT_THROW((void)window_feature_stats(0.5, 10, 10, 50, 10, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)window_feature_stats(0.5, 10, 12, 11, 10, 1),
+               std::invalid_argument);
+}
+
+TEST(CfEvent, ProbabilityInUnitInterval) {
+  sfs::gen::CooperFriezeParams params;
+  const auto est = estimate_cf_event_probability(params, 100, 105, 500, 19);
+  EXPECT_GE(est.probability, 0.0);
+  EXPECT_LE(est.probability, 1.0);
+  EXPECT_GT(est.probability, 0.01);  // window of 5 is survivable
+}
+
+TEST(CfEvent, LargerWindowLessLikely) {
+  sfs::gen::CooperFriezeParams params;
+  const auto small = estimate_cf_event_probability(params, 200, 203, 800, 23);
+  const auto large = estimate_cf_event_probability(params, 200, 230, 800, 23);
+  EXPECT_GE(small.probability, large.probability);
+}
+
+TEST(CfEvent, MostlyOldHeadsWhenPreferential) {
+  // With beta = gamma = 0 and indegree preference, late heads concentrate
+  // on old vertices, so the event is more likely than under uniform heads.
+  sfs::gen::CooperFriezeParams pref;
+  pref.beta = 0.0;
+  pref.gamma = 0.0;
+  sfs::gen::CooperFriezeParams unif;
+  unif.beta = 1.0;
+  unif.gamma = 1.0;
+  const std::size_t a = 300;
+  const std::size_t b = sfs::core::theory::lemma3_window_end(a);
+  const auto p_pref = estimate_cf_event_probability(pref, a, b, 1500, 29);
+  const auto p_unif = estimate_cf_event_probability(unif, a, b, 1500, 31);
+  EXPECT_GT(p_pref.probability, p_unif.probability);
+}
+
+}  // namespace

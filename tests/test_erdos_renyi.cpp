@@ -1,0 +1,91 @@
+// Tests for the Erdős–Rényi baselines.
+#include "gen/erdos_renyi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/algorithms.hpp"
+
+namespace {
+
+using sfs::gen::erdos_renyi_gnm;
+using sfs::gen::erdos_renyi_gnp;
+using sfs::graph::Graph;
+using sfs::graph::VertexId;
+using sfs::rng::Rng;
+
+TEST(Gnm, ExactEdgeCount) {
+  Rng rng(1);
+  const Graph g = erdos_renyi_gnm(50, 100, rng);
+  EXPECT_EQ(g.num_vertices(), 50u);
+  EXPECT_EQ(g.num_edges(), 100u);
+}
+
+TEST(Gnm, SimpleGraph) {
+  Rng rng(2);
+  const Graph g = erdos_renyi_gnm(30, 200, rng);
+  std::set<std::pair<VertexId, VertexId>> seen;
+  for (const auto& e : g.edges()) {
+    EXPECT_FALSE(e.is_loop());
+    EXPECT_TRUE(seen.insert(std::minmax(e.tail, e.head)).second);
+  }
+}
+
+TEST(Gnm, FullGraphPossible) {
+  Rng rng(3);
+  const Graph g = erdos_renyi_gnm(6, 15, rng);
+  EXPECT_EQ(g.num_edges(), 15u);
+}
+
+TEST(Gnm, RejectsTooManyEdges) {
+  Rng rng(4);
+  EXPECT_THROW((void)erdos_renyi_gnm(4, 7, rng), std::invalid_argument);
+}
+
+TEST(Gnp, EdgeCountNearExpectation) {
+  Rng rng(5);
+  const std::size_t n = 400;
+  const double p = 0.05;
+  const Graph g = erdos_renyi_gnp(n, p, rng);
+  const double expected = p * static_cast<double>(n * (n - 1) / 2);
+  EXPECT_GT(static_cast<double>(g.num_edges()), 0.85 * expected);
+  EXPECT_LT(static_cast<double>(g.num_edges()), 1.15 * expected);
+}
+
+TEST(Gnp, SimpleGraph) {
+  Rng rng(6);
+  const Graph g = erdos_renyi_gnp(100, 0.1, rng);
+  std::set<std::pair<VertexId, VertexId>> seen;
+  for (const auto& e : g.edges()) {
+    EXPECT_FALSE(e.is_loop());
+    EXPECT_LT(e.head, e.tail);  // Batagelj–Brandes order: v < u
+    EXPECT_TRUE(seen.insert(std::minmax(e.tail, e.head)).second);
+  }
+}
+
+TEST(Gnp, ZeroProbabilityEmpty) {
+  Rng rng(7);
+  EXPECT_EQ(erdos_renyi_gnp(50, 0.0, rng).num_edges(), 0u);
+}
+
+TEST(Gnp, FullProbabilityComplete) {
+  Rng rng(8);
+  const Graph g = erdos_renyi_gnp(10, 1.0, rng);
+  EXPECT_EQ(g.num_edges(), 45u);
+}
+
+TEST(Gnp, DenseRegimeConnected) {
+  Rng rng(9);
+  // p well above the log(n)/n connectivity threshold.
+  const Graph g = erdos_renyi_gnp(200, 0.1, rng);
+  EXPECT_TRUE(sfs::graph::is_connected(g));
+}
+
+TEST(Gnp, Preconditions) {
+  Rng rng(10);
+  EXPECT_THROW((void)erdos_renyi_gnp(10, 1.5, rng), std::invalid_argument);
+  EXPECT_THROW((void)erdos_renyi_gnp(10, -0.1, rng), std::invalid_argument);
+}
+
+}  // namespace

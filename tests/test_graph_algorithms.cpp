@@ -1,0 +1,238 @@
+// Tests for BFS, connectivity, distance estimation and clustering.
+#include "graph/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+
+namespace {
+
+using sfs::graph::bfs;
+using sfs::graph::connected_components;
+using sfs::graph::distance;
+using sfs::graph::Graph;
+using sfs::graph::GraphBuilder;
+using sfs::graph::induced_subgraph;
+using sfs::graph::is_connected;
+using sfs::graph::is_tree;
+using sfs::graph::kNoVertex;
+using sfs::graph::kUnreachable;
+using sfs::graph::largest_component;
+using sfs::graph::pseudo_diameter;
+using sfs::graph::sample_clustering;
+using sfs::graph::sample_distances;
+using sfs::graph::shortest_path;
+using sfs::graph::VertexId;
+
+Graph path_graph(std::size_t n) {
+  GraphBuilder b(n);
+  for (VertexId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.build();
+}
+
+Graph cycle_graph(std::size_t n) {
+  GraphBuilder b(n);
+  for (VertexId v = 0; v < n; ++v)
+    b.add_edge(v, static_cast<VertexId>((v + 1) % n));
+  return b.build();
+}
+
+Graph star_graph(std::size_t leaves) {
+  GraphBuilder b(leaves + 1);
+  for (VertexId v = 1; v <= leaves; ++v) b.add_edge(v, 0);
+  return b.build();
+}
+
+Graph complete_graph(std::size_t n) {
+  GraphBuilder b(n);
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v) b.add_edge(u, v);
+  return b.build();
+}
+
+TEST(Bfs, PathDistances) {
+  const Graph g = path_graph(5);
+  const auto r = bfs(g, 0);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(r.distance[v], v);
+  EXPECT_EQ(r.max_distance, 4u);
+  EXPECT_EQ(r.farthest, 4u);
+}
+
+TEST(Bfs, ParentsFormTree) {
+  const Graph g = cycle_graph(6);
+  const auto r = bfs(g, 0);
+  EXPECT_EQ(r.parent[0], kNoVertex);
+  for (VertexId v = 1; v < 6; ++v) {
+    ASSERT_NE(r.parent[v], kNoVertex);
+    EXPECT_EQ(r.distance[v], r.distance[r.parent[v]] + 1);
+  }
+}
+
+TEST(Bfs, UnreachableMarked) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Graph g = b.build();
+  const auto r = bfs(g, 0);
+  EXPECT_EQ(r.distance[1], 1u);
+  EXPECT_EQ(r.distance[2], kUnreachable);
+  EXPECT_EQ(r.distance[3], kUnreachable);
+}
+
+TEST(Bfs, CycleDistancesWrap) {
+  const Graph g = cycle_graph(8);
+  const auto r = bfs(g, 0);
+  EXPECT_EQ(r.distance[4], 4u);
+  EXPECT_EQ(r.distance[5], 3u);
+  EXPECT_EQ(r.distance[7], 1u);
+}
+
+TEST(Distance, MatchesBfs) {
+  const Graph g = cycle_graph(10);
+  EXPECT_EQ(distance(g, 0, 5), 5u);
+  EXPECT_EQ(distance(g, 2, 2), 0u);
+}
+
+TEST(ShortestPath, ValidPath) {
+  const Graph g = cycle_graph(7);
+  const auto path = shortest_path(g, 0, 3);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path.front(), 0u);
+  EXPECT_EQ(path.back(), 3u);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_TRUE(g.has_edge(path[i], path[i + 1]));
+  }
+}
+
+TEST(ShortestPath, EmptyWhenUnreachable) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_TRUE(shortest_path(g, 0, 2).empty());
+}
+
+TEST(Components, CountsAndLabels) {
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  const Graph g = b.build();
+  const auto c = connected_components(g);
+  EXPECT_EQ(c.count, 3u);
+  EXPECT_EQ(c.label[0], c.label[1]);
+  EXPECT_EQ(c.label[1], c.label[2]);
+  EXPECT_EQ(c.label[3], c.label[4]);
+  EXPECT_NE(c.label[0], c.label[3]);
+  EXPECT_NE(c.label[5], c.label[0]);
+  const auto sizes = c.sizes();
+  EXPECT_EQ(sizes[c.label[0]], 3u);
+  EXPECT_EQ(sizes[c.label[3]], 2u);
+  EXPECT_EQ(sizes[c.label[5]], 1u);
+  EXPECT_EQ(c.largest(), c.label[0]);
+}
+
+TEST(Components, SelfLoopsDoNotDisconnect) {
+  GraphBuilder b(2);
+  b.add_edge(0, 0);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(IsConnected, SingletonAndEmpty) {
+  EXPECT_TRUE(is_connected(GraphBuilder(1).build()));
+  EXPECT_TRUE(is_connected(GraphBuilder(0).build()));
+  EXPECT_FALSE(is_connected(GraphBuilder(2).build()));
+}
+
+TEST(InducedSubgraph, KeepsInternalEdges) {
+  const Graph g = complete_graph(5);
+  const auto sub = induced_subgraph(g, {0, 2, 4});
+  EXPECT_EQ(sub.graph.num_vertices(), 3u);
+  EXPECT_EQ(sub.graph.num_edges(), 3u);  // triangle among kept vertices
+  EXPECT_EQ(sub.to_old.size(), 3u);
+  EXPECT_EQ(sub.to_new[0], 0u);
+  EXPECT_EQ(sub.to_new[2], 1u);
+  EXPECT_EQ(sub.to_new[4], 2u);
+  EXPECT_EQ(sub.to_new[1], kNoVertex);
+}
+
+TEST(InducedSubgraph, RejectsDuplicates) {
+  const Graph g = complete_graph(3);
+  EXPECT_THROW((void)induced_subgraph(g, {0, 0}), std::invalid_argument);
+}
+
+TEST(LargestComponent, PicksBiggest) {
+  GraphBuilder b(7);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(3, 4);
+  const Graph g = b.build();
+  const auto sub = largest_component(g);
+  EXPECT_EQ(sub.graph.num_vertices(), 3u);
+  EXPECT_TRUE(is_connected(sub.graph));
+}
+
+TEST(IsTree, PositiveAndNegative) {
+  EXPECT_TRUE(is_tree(path_graph(5)));
+  EXPECT_TRUE(is_tree(star_graph(6)));
+  EXPECT_FALSE(is_tree(cycle_graph(4)));
+  GraphBuilder b(2);
+  b.add_edge(0, 0);  // loop, n-1 edges but not a tree
+  EXPECT_FALSE(is_tree(b.build()));
+  EXPECT_FALSE(is_tree(GraphBuilder(2).build()));  // disconnected
+}
+
+TEST(PseudoDiameter, ExactOnPath) {
+  EXPECT_EQ(pseudo_diameter(path_graph(9), 4), 8u);
+}
+
+TEST(PseudoDiameter, StarIsTwo) {
+  EXPECT_EQ(pseudo_diameter(star_graph(10), 3), 2u);
+}
+
+TEST(SampleDistances, CompleteGraphAllOnes) {
+  const Graph g = complete_graph(6);
+  sfs::rng::Rng rng(1);
+  const auto st = sample_distances(g, 10, rng);
+  EXPECT_DOUBLE_EQ(st.mean_distance, 1.0);
+  EXPECT_DOUBLE_EQ(st.mean_eccentricity, 1.0);
+  EXPECT_EQ(st.max_observed, 1u);
+}
+
+TEST(SampleDistances, PathMeanReasonable) {
+  const Graph g = path_graph(11);
+  sfs::rng::Rng rng(2);
+  const auto st = sample_distances(g, 50, rng);
+  EXPECT_GT(st.mean_distance, 2.0);
+  EXPECT_LT(st.mean_distance, 7.0);
+  EXPECT_GE(st.max_observed, 5u);
+  EXPECT_LE(st.max_observed, 10u);
+}
+
+TEST(SampleClustering, TriangleIsOne) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  sfs::rng::Rng rng(3);
+  EXPECT_DOUBLE_EQ(sample_clustering(b.build(), 200, rng), 1.0);
+}
+
+TEST(SampleClustering, StarIsZero) {
+  sfs::rng::Rng rng(4);
+  EXPECT_DOUBLE_EQ(sample_clustering(star_graph(8), 200, rng), 0.0);
+}
+
+TEST(SampleClustering, CompleteGraphIsOne) {
+  sfs::rng::Rng rng(5);
+  EXPECT_DOUBLE_EQ(sample_clustering(complete_graph(6), 200, rng), 1.0);
+}
+
+TEST(SampleClustering, NoWedgesGivesZero) {
+  sfs::rng::Rng rng(6);
+  EXPECT_DOUBLE_EQ(sample_clustering(path_graph(2), 100, rng), 0.0);
+}
+
+}  // namespace

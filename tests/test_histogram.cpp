@@ -1,0 +1,96 @@
+// Tests for integer and logarithmic histograms.
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using sfs::stats::IntHistogram;
+using sfs::stats::log_binned;
+
+TEST(IntHistogram, BasicCounts) {
+  IntHistogram h;
+  h.add(3);
+  h.add(3);
+  h.add(5, 4);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.count(3), 2u);
+  EXPECT_EQ(h.count(5), 4u);
+  EXPECT_EQ(h.count(4), 0u);
+  EXPECT_EQ(h.count(99), 0u);
+  EXPECT_EQ(h.max_value(), 5u);
+}
+
+TEST(IntHistogram, PmfAndCcdf) {
+  IntHistogram h;
+  h.add(1, 2);
+  h.add(2, 1);
+  h.add(4, 1);
+  EXPECT_DOUBLE_EQ(h.pmf(1), 0.5);
+  EXPECT_DOUBLE_EQ(h.pmf(3), 0.0);
+  EXPECT_DOUBLE_EQ(h.ccdf(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.ccdf(2), 0.5);
+  EXPECT_DOUBLE_EQ(h.ccdf(3), 0.25);
+  EXPECT_DOUBLE_EQ(h.ccdf(5), 0.0);
+}
+
+TEST(IntHistogram, EmptyIsSafe) {
+  IntHistogram h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.max_value(), 0u);
+  EXPECT_DOUBLE_EQ(h.pmf(1), 0.0);
+  EXPECT_DOUBLE_EQ(h.ccdf(1), 0.0);
+}
+
+TEST(LogBinned, CoversAllValues) {
+  std::vector<std::size_t> values;
+  for (std::size_t v = 1; v <= 100; ++v) values.push_back(v);
+  const auto bins = log_binned(values, 2.0);
+  std::size_t total = 0;
+  for (const auto& b : bins) total += b.count;
+  EXPECT_EQ(total, values.size());
+  // Bin edges double: 1,2,4,8,...
+  EXPECT_EQ(bins[0].lo, 1u);
+  EXPECT_EQ(bins[0].hi, 2u);
+  EXPECT_EQ(bins[1].lo, 2u);
+  EXPECT_EQ(bins[1].hi, 4u);
+}
+
+TEST(LogBinned, DensityNormalization) {
+  // Uniform values over [1, 64): densities should be roughly equal.
+  std::vector<std::size_t> values;
+  for (std::size_t v = 1; v < 64; ++v) values.push_back(v);
+  const auto bins = log_binned(values, 2.0);
+  for (const auto& b : bins) {
+    if (b.count > 0) {
+      EXPECT_NEAR(b.density, 1.0 / 63.0, 0.002);
+    }
+  }
+}
+
+TEST(LogBinned, RejectsZeroValues) {
+  const std::vector<std::size_t> values{0, 1};
+  EXPECT_THROW((void)log_binned(values), std::invalid_argument);
+}
+
+TEST(LogBinned, RejectsBadBase) {
+  const std::vector<std::size_t> values{1, 2};
+  EXPECT_THROW((void)log_binned(values, 1.0), std::invalid_argument);
+}
+
+TEST(LogBinned, EmptyInputGivesNoBins) {
+  EXPECT_TRUE(log_binned({}).empty());
+}
+
+TEST(LogBinned, GeometricCenterWithinBin) {
+  std::vector<std::size_t> values{1, 3, 9, 27, 81};
+  const auto bins = log_binned(values, 3.0);
+  for (const auto& b : bins) {
+    EXPECT_GE(b.center, static_cast<double>(b.lo) - 1e-9);
+    EXPECT_LE(b.center, static_cast<double>(b.hi));
+  }
+}
+
+}  // namespace

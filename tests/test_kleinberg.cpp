@@ -1,0 +1,140 @@
+// Tests for the Kleinberg small-world grid.
+#include "gen/kleinberg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+
+namespace {
+
+using sfs::gen::KleinbergGrid;
+using sfs::gen::KleinbergParams;
+using sfs::graph::VertexId;
+using sfs::rng::Rng;
+
+TEST(KleinbergGrid, CountsMatch) {
+  Rng rng(1);
+  const KleinbergGrid grid(8, KleinbergParams{2.0, 1}, rng);
+  EXPECT_EQ(grid.side(), 8u);
+  EXPECT_EQ(grid.num_vertices(), 64u);
+  // 2 local edges emitted per vertex + q long-range per vertex.
+  EXPECT_EQ(grid.graph().num_edges(), 64u * 3u);
+}
+
+TEST(KleinbergGrid, EveryVertexHasFourLocalNeighborsPlusLongRange) {
+  Rng rng(2);
+  const KleinbergGrid grid(6, KleinbergParams{2.0, 2}, rng);
+  for (VertexId v = 0; v < grid.num_vertices(); ++v) {
+    // Degree >= 4 local + 2 own long-range; incoming long-range possible.
+    EXPECT_GE(grid.graph().degree(v), 6u);
+  }
+}
+
+TEST(KleinbergGrid, CoordsRoundTrip) {
+  Rng rng(3);
+  const KleinbergGrid grid(5, KleinbergParams{2.0, 1}, rng);
+  for (VertexId v = 0; v < grid.num_vertices(); ++v) {
+    const auto [x, y] = grid.coords(v);
+    EXPECT_EQ(grid.vertex_at(x, y), v);
+  }
+}
+
+TEST(KleinbergGrid, VertexAtWraps) {
+  Rng rng(4);
+  const KleinbergGrid grid(5, KleinbergParams{2.0, 1}, rng);
+  EXPECT_EQ(grid.vertex_at(5, 0), grid.vertex_at(0, 0));
+  EXPECT_EQ(grid.vertex_at(7, 9), grid.vertex_at(2, 4));
+}
+
+TEST(KleinbergGrid, LatticeDistanceIsTorusMetric) {
+  Rng rng(5);
+  const KleinbergGrid grid(10, KleinbergParams{2.0, 1}, rng);
+  const VertexId a = grid.vertex_at(0, 0);
+  const VertexId b = grid.vertex_at(9, 0);  // wraps to distance 1
+  EXPECT_EQ(grid.lattice_distance(a, b), 1u);
+  const VertexId c = grid.vertex_at(5, 5);
+  EXPECT_EQ(grid.lattice_distance(a, c), 10u);
+  EXPECT_EQ(grid.lattice_distance(a, a), 0u);
+  // Symmetry.
+  EXPECT_EQ(grid.lattice_distance(a, c), grid.lattice_distance(c, a));
+}
+
+TEST(KleinbergGrid, TriangleInequalitySampled) {
+  Rng rng(6);
+  const KleinbergGrid grid(12, KleinbergParams{2.0, 1}, rng);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = static_cast<VertexId>(rng.uniform_index(144));
+    const auto b = static_cast<VertexId>(rng.uniform_index(144));
+    const auto c = static_cast<VertexId>(rng.uniform_index(144));
+    EXPECT_LE(grid.lattice_distance(a, c),
+              grid.lattice_distance(a, b) + grid.lattice_distance(b, c));
+  }
+}
+
+TEST(KleinbergGrid, Connected) {
+  Rng rng(7);
+  const KleinbergGrid grid(9, KleinbergParams{1.0, 1}, rng);
+  EXPECT_TRUE(sfs::graph::is_connected(grid.graph()));
+}
+
+TEST(KleinbergGrid, GraphDistanceBoundedByLattice) {
+  // Long-range links only shorten paths; graph distance <= lattice distance.
+  Rng rng(8);
+  const KleinbergGrid grid(8, KleinbergParams{2.0, 1}, rng);
+  for (int i = 0; i < 30; ++i) {
+    const auto a = static_cast<VertexId>(rng.uniform_index(64));
+    const auto b = static_cast<VertexId>(rng.uniform_index(64));
+    EXPECT_LE(sfs::graph::distance(grid.graph(), a, b),
+              grid.lattice_distance(a, b));
+  }
+}
+
+TEST(KleinbergGrid, HighExponentFavorsShortLinks) {
+  // With r = 6 nearly all long-range contacts are at lattice distance 1-2.
+  Rng rng(9);
+  const KleinbergGrid grid(16, KleinbergParams{6.0, 1}, rng);
+  std::size_t shorts = 0;
+  std::size_t longs = 0;
+  const auto& g = grid.graph();
+  // Long-range edges are the last n edges (insertion order: local first).
+  const std::size_t n = grid.num_vertices();
+  for (std::size_t e = 2 * n; e < g.num_edges(); ++e) {
+    const auto& ed = g.edge(static_cast<sfs::graph::EdgeId>(e));
+    const auto d = grid.lattice_distance(ed.tail, ed.head);
+    if (d <= 2) ++shorts;
+    else ++longs;
+  }
+  EXPECT_GT(shorts, 5 * (longs + 1));
+}
+
+TEST(KleinbergGrid, ZeroExponentIsUniform) {
+  // r = 0: long-range contacts uniform; mean lattice distance should be
+  // close to the mean over all offsets (~ L/2 for Manhattan on torus).
+  Rng rng(10);
+  const std::size_t L = 20;
+  const KleinbergGrid grid(L, KleinbergParams{0.0, 1}, rng);
+  const auto& g = grid.graph();
+  const std::size_t n = grid.num_vertices();
+  double sum = 0.0;
+  std::size_t cnt = 0;
+  for (std::size_t e = 2 * n; e < g.num_edges(); ++e) {
+    const auto& ed = g.edge(static_cast<sfs::graph::EdgeId>(e));
+    sum += static_cast<double>(grid.lattice_distance(ed.tail, ed.head));
+    ++cnt;
+  }
+  const double mean = sum / static_cast<double>(cnt);
+  EXPECT_GT(mean, 7.0);
+  EXPECT_LT(mean, 13.0);
+}
+
+TEST(KleinbergGrid, Preconditions) {
+  Rng rng(11);
+  EXPECT_THROW(KleinbergGrid(1, KleinbergParams{2.0, 1}, rng),
+               std::invalid_argument);
+  EXPECT_THROW(KleinbergGrid(4, KleinbergParams{-1.0, 1}, rng),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+// Tests for greedy geographic routing on the Kleinberg grid.
+#include "search/kleinberg_routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/summary.hpp"
+
+namespace {
+
+using sfs::gen::KleinbergGrid;
+using sfs::gen::KleinbergParams;
+using sfs::graph::VertexId;
+using sfs::rng::Rng;
+using sfs::search::greedy_route;
+
+TEST(GreedyRoute, DeliversOnPureLatticeInExactDistance) {
+  // q = 0 would be ideal, but the generator requires q >= 0; use r huge so
+  // long-range links are lattice-adjacent and cannot mislead greedy.
+  Rng rng(1);
+  const KleinbergGrid grid(12, KleinbergParams{50.0, 1}, rng);
+  const VertexId s = grid.vertex_at(0, 0);
+  const VertexId t = grid.vertex_at(5, 3);
+  const auto r = greedy_route(grid, s, t);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.steps, grid.lattice_distance(s, t));
+}
+
+TEST(GreedyRoute, TrivialRoute) {
+  Rng rng(2);
+  const KleinbergGrid grid(6, KleinbergParams{2.0, 1}, rng);
+  const auto r = greedy_route(grid, 7, 7);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.steps, 0u);
+}
+
+TEST(GreedyRoute, AlwaysDeliversOnTorus) {
+  Rng rng(3);
+  const KleinbergGrid grid(16, KleinbergParams{2.0, 1}, rng);
+  for (int i = 0; i < 50; ++i) {
+    const auto s = static_cast<VertexId>(rng.uniform_index(256));
+    const auto t = static_cast<VertexId>(rng.uniform_index(256));
+    const auto r = greedy_route(grid, s, t);
+    EXPECT_TRUE(r.delivered);
+    EXPECT_LE(r.steps, 2u * 16u);  // never worse than the lattice diameter
+  }
+}
+
+TEST(GreedyRoute, StepsNeverExceedLatticeDistance) {
+  // Greedy strictly decreases lattice distance each hop.
+  Rng rng(4);
+  const KleinbergGrid grid(14, KleinbergParams{2.0, 2}, rng);
+  for (int i = 0; i < 50; ++i) {
+    const auto s = static_cast<VertexId>(rng.uniform_index(196));
+    const auto t = static_cast<VertexId>(rng.uniform_index(196));
+    const auto r = greedy_route(grid, s, t);
+    EXPECT_LE(r.steps, grid.lattice_distance(s, t));
+  }
+}
+
+TEST(GreedyRoute, MaxStepsTruncates) {
+  Rng rng(5);
+  const KleinbergGrid grid(20, KleinbergParams{50.0, 1}, rng);
+  const VertexId s = grid.vertex_at(0, 0);
+  const VertexId t = grid.vertex_at(10, 10);
+  const auto r = greedy_route(grid, s, t, 3);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_EQ(r.steps, 3u);
+}
+
+TEST(GreedyRoute, NavigableDichotomyInGrowthRates) {
+  // The Kleinberg dichotomy shows in how route length *grows* with the
+  // grid: polylog at r = 2, polynomial away from it. At laptop sizes the
+  // absolute means of r = 0 and r = 2 are close, but the growth factor
+  // from L = 16 to L = 160 separates cleanly (and r = 4, effectively
+  // local-only, is far worse on both counts).
+  auto mean_steps = [&](double r_exp, std::size_t L) {
+    Rng rng(101);
+    const KleinbergGrid grid(L, KleinbergParams{r_exp, 1}, rng);
+    sfs::stats::Accumulator acc;
+    for (int i = 0; i < 400; ++i) {
+      const auto s =
+          static_cast<VertexId>(rng.uniform_index(grid.num_vertices()));
+      const auto t =
+          static_cast<VertexId>(rng.uniform_index(grid.num_vertices()));
+      acc.add(static_cast<double>(greedy_route(grid, s, t).steps));
+    }
+    return acc.mean();
+  };
+  const double g0 = mean_steps(0.0, 160) / mean_steps(0.0, 16);
+  const double g2 = mean_steps(2.0, 160) / mean_steps(2.0, 16);
+  const double g4 = mean_steps(4.0, 160) / mean_steps(4.0, 16);
+  EXPECT_LT(g2, g0);
+  EXPECT_LT(g0, g4);
+  // And in absolute terms at the larger size, r = 2 wins outright.
+  EXPECT_LT(mean_steps(2.0, 160), mean_steps(0.0, 160));
+  EXPECT_LT(mean_steps(2.0, 160), mean_steps(4.0, 160));
+}
+
+TEST(GreedyRoute, RangeChecks) {
+  Rng rng(9);
+  const KleinbergGrid grid(5, KleinbergParams{2.0, 1}, rng);
+  EXPECT_THROW((void)greedy_route(grid, 0, 25), std::invalid_argument);
+  EXPECT_THROW((void)greedy_route(grid, 30, 0), std::invalid_argument);
+}
+
+}  // namespace

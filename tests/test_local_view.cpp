@@ -1,0 +1,254 @@
+// Tests for LocalView: information gating, request accounting, discovery
+// paths — the paper's two knowledge models made executable.
+#include "search/local_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+
+namespace {
+
+using sfs::graph::Graph;
+using sfs::graph::GraphBuilder;
+using sfs::graph::kNoVertex;
+using sfs::graph::VertexId;
+using sfs::search::KnowledgeModel;
+using sfs::search::LocalView;
+
+// Path 0 - 1 - 2 - 3 (edges 0,1,2).
+Graph path4() {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  return b.build();
+}
+
+TEST(LocalViewWeak, StartIsKnownTargetIsNot) {
+  const Graph g = path4();
+  LocalView view(g, KnowledgeModel::kWeak, 0, 3);
+  EXPECT_TRUE(view.is_known(0));
+  EXPECT_FALSE(view.is_known(1));
+  EXPECT_FALSE(view.target_found());
+  EXPECT_EQ(view.requests(), 0u);
+  ASSERT_EQ(view.known_vertices().size(), 1u);
+  EXPECT_EQ(view.known_vertices()[0], 0u);
+}
+
+TEST(LocalViewWeak, TrivialSearchWhenStartIsTarget) {
+  const Graph g = path4();
+  LocalView view(g, KnowledgeModel::kWeak, 2, 2);
+  EXPECT_TRUE(view.target_found());
+  EXPECT_EQ(view.discovery_path().size(), 1u);
+}
+
+TEST(LocalViewWeak, RequestRevealsFarEndpoint) {
+  const Graph g = path4();
+  LocalView view(g, KnowledgeModel::kWeak, 0, 3);
+  const VertexId v = view.request_edge(0, 0);
+  EXPECT_EQ(v, 1u);
+  EXPECT_TRUE(view.is_known(1));
+  EXPECT_EQ(view.requests(), 1u);
+  EXPECT_EQ(view.degree(1), 2u);  // degree of revealed vertex now visible
+}
+
+TEST(LocalViewWeak, UnknownVertexAccessRejected) {
+  const Graph g = path4();
+  LocalView view(g, KnowledgeModel::kWeak, 0, 3);
+  EXPECT_THROW((void)view.degree(1), std::invalid_argument);
+  EXPECT_THROW((void)view.incident(2), std::invalid_argument);
+  EXPECT_THROW((void)view.request_edge(1, 1), std::invalid_argument);
+  EXPECT_THROW((void)view.first_unexplored(3), std::invalid_argument);
+}
+
+TEST(LocalViewWeak, EdgeMustBeIncident) {
+  const Graph g = path4();
+  LocalView view(g, KnowledgeModel::kWeak, 0, 3);
+  EXPECT_THROW((void)view.request_edge(0, 2), std::invalid_argument);
+}
+
+TEST(LocalViewWeak, RepeatRequestsAreFree) {
+  const Graph g = path4();
+  LocalView view(g, KnowledgeModel::kWeak, 0, 3);
+  (void)view.request_edge(0, 0);
+  (void)view.request_edge(0, 0);
+  (void)view.request_edge(1, 0);  // same edge from the other side
+  EXPECT_EQ(view.requests(), 1u);
+  EXPECT_EQ(view.raw_requests(), 3u);
+}
+
+TEST(LocalViewWeak, FarEndpointOnlyAfterExploration) {
+  const Graph g = path4();
+  LocalView view(g, KnowledgeModel::kWeak, 0, 3);
+  EXPECT_FALSE(view.far_endpoint(0, 0).has_value());
+  (void)view.request_edge(0, 0);
+  ASSERT_TRUE(view.far_endpoint(0, 0).has_value());
+  EXPECT_EQ(*view.far_endpoint(0, 0), 1u);
+  EXPECT_EQ(*view.far_endpoint(0, 1), 0u);
+}
+
+TEST(LocalViewWeak, FirstUnexploredAdvances) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  const Graph g = b.build();
+  LocalView view(g, KnowledgeModel::kWeak, 0, 2);
+  ASSERT_TRUE(view.first_unexplored(0).has_value());
+  EXPECT_EQ(*view.first_unexplored(0), 0u);
+  (void)view.request_edge(0, 0);
+  EXPECT_EQ(*view.first_unexplored(0), 1u);
+  (void)view.request_edge(0, 1);
+  EXPECT_FALSE(view.first_unexplored(0).has_value());
+  EXPECT_FALSE(view.has_unexplored(0));
+}
+
+TEST(LocalViewWeak, TargetFoundOnReveal) {
+  const Graph g = path4();
+  LocalView view(g, KnowledgeModel::kWeak, 0, 2);
+  (void)view.request_edge(0, 0);
+  EXPECT_FALSE(view.target_found());
+  (void)view.request_edge(1, 1);
+  EXPECT_TRUE(view.target_found());
+}
+
+TEST(LocalViewWeak, DiscoveryPathIsGraphPath) {
+  const Graph g = path4();
+  LocalView view(g, KnowledgeModel::kWeak, 0, 3);
+  (void)view.request_edge(0, 0);
+  (void)view.request_edge(1, 1);
+  (void)view.request_edge(2, 2);
+  ASSERT_TRUE(view.target_found());
+  const auto path = view.discovery_path();
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path.front(), 0u);
+  EXPECT_EQ(path.back(), 3u);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_TRUE(g.has_edge(path[i], path[i + 1]));
+  }
+}
+
+TEST(LocalViewWeak, DiscoveryPathEmptyBeforeFound) {
+  const Graph g = path4();
+  LocalView view(g, KnowledgeModel::kWeak, 0, 3);
+  EXPECT_TRUE(view.discovery_path().empty());
+}
+
+TEST(LocalViewWeak, StrongRequestRejected) {
+  const Graph g = path4();
+  LocalView view(g, KnowledgeModel::kWeak, 0, 3);
+  EXPECT_THROW((void)view.request_vertex(0), std::invalid_argument);
+}
+
+TEST(LocalViewWeak, SelfLoopReveal) {
+  GraphBuilder b(2);
+  b.add_edge(0, 0);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  LocalView view(g, KnowledgeModel::kWeak, 0, 1);
+  EXPECT_EQ(view.request_edge(0, 0), 0u);  // loop reveals itself
+  EXPECT_EQ(view.requests(), 1u);
+  EXPECT_FALSE(view.target_found());
+}
+
+TEST(LocalViewWeak, DiscovererTracksFirstReveal) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 2);
+  const Graph g = b.build();
+  LocalView view(g, KnowledgeModel::kWeak, 0, 2);
+  (void)view.request_edge(0, 0);  // reveal 1 via 0
+  (void)view.request_edge(1, 2);  // reveal 2 via 1
+  EXPECT_EQ(view.discoverer(1), 0u);
+  EXPECT_EQ(view.discoverer(2), 1u);
+  EXPECT_EQ(view.discoverer(0), kNoVertex);
+  // Revealing 2 again via the direct edge must not change its discoverer.
+  (void)view.request_edge(0, 1);
+  EXPECT_EQ(view.discoverer(2), 1u);
+}
+
+// ----------------------------------------------------------------- strong
+
+TEST(LocalViewStrong, RequestOpensAllEdges) {
+  const Graph g = path4();
+  LocalView view(g, KnowledgeModel::kStrong, 1, 3);
+  const auto neighbors = view.request_vertex(1);
+  ASSERT_EQ(neighbors.size(), 2u);
+  EXPECT_TRUE(view.is_known(0));
+  EXPECT_TRUE(view.is_known(2));
+  EXPECT_EQ(view.requests(), 1u);
+}
+
+TEST(LocalViewStrong, ChainToTarget) {
+  const Graph g = path4();
+  LocalView view(g, KnowledgeModel::kStrong, 0, 3);
+  (void)view.request_vertex(0);
+  EXPECT_FALSE(view.target_found());
+  (void)view.request_vertex(1);
+  EXPECT_FALSE(view.target_found());
+  (void)view.request_vertex(2);
+  EXPECT_TRUE(view.target_found());
+  EXPECT_EQ(view.requests(), 3u);
+}
+
+TEST(LocalViewStrong, UnknownVertexNotRequestable) {
+  const Graph g = path4();
+  LocalView view(g, KnowledgeModel::kStrong, 0, 3);
+  EXPECT_THROW((void)view.request_vertex(2), std::invalid_argument);
+}
+
+TEST(LocalViewStrong, RepeatRequestsFree) {
+  const Graph g = path4();
+  LocalView view(g, KnowledgeModel::kStrong, 0, 3);
+  (void)view.request_vertex(0);
+  (void)view.request_vertex(0);
+  EXPECT_EQ(view.requests(), 1u);
+  EXPECT_EQ(view.raw_requests(), 2u);
+  EXPECT_TRUE(view.vertex_requested(0));
+  EXPECT_FALSE(view.vertex_requested(1));
+}
+
+TEST(LocalViewStrong, WeakRequestRejected) {
+  const Graph g = path4();
+  LocalView view(g, KnowledgeModel::kStrong, 0, 3);
+  EXPECT_THROW((void)view.request_edge(0, 0), std::invalid_argument);
+}
+
+TEST(LocalViewStrong, DiscoveryPathValid) {
+  const Graph g = path4();
+  LocalView view(g, KnowledgeModel::kStrong, 0, 3);
+  (void)view.request_vertex(0);
+  (void)view.request_vertex(1);
+  (void)view.request_vertex(2);
+  const auto path = view.discovery_path();
+  ASSERT_EQ(path.size(), 4u);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_TRUE(g.has_edge(path[i], path[i + 1]));
+  }
+}
+
+TEST(LocalViewStrong, NeighborsIncludeMultiplicity) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  LocalView view(g, KnowledgeModel::kStrong, 0, 1);
+  const auto neighbors = view.request_vertex(0);
+  EXPECT_EQ(neighbors.size(), 2u);
+}
+
+TEST(LocalView, NumVerticesExposed) {
+  const Graph g = path4();
+  const LocalView view(g, KnowledgeModel::kWeak, 0, 3);
+  EXPECT_EQ(view.num_vertices(), 4u);
+}
+
+TEST(LocalView, EndpointRangeChecked) {
+  const Graph g = path4();
+  EXPECT_THROW(LocalView(g, KnowledgeModel::kWeak, 4, 0),
+               std::invalid_argument);
+  EXPECT_THROW(LocalView(g, KnowledgeModel::kWeak, 0, 7),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,80 @@
+// Tests for the composed Lemma 1+2+3 lower-bound estimator.
+#include "core/lower_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/theory.hpp"
+
+namespace {
+
+using sfs::core::cooper_frieze_lower_bound;
+using sfs::core::mori_lower_bound;
+
+TEST(MoriLowerBound, WindowGeometry) {
+  const auto est = mori_lower_bound(0.5, 1001, 200, 1);
+  EXPECT_EQ(est.a, 1000u);
+  EXPECT_EQ(est.b, sfs::core::theory::lemma3_window_end(1000));
+  EXPECT_EQ(est.window_size, est.b - est.a);
+  // Window ~ sqrt(n).
+  EXPECT_NEAR(static_cast<double>(est.window_size),
+              std::sqrt(1000.0), 2.0);
+}
+
+TEST(MoriLowerBound, BoundIsHalfWindowTimesProbability) {
+  const auto est = mori_lower_bound(0.5, 501, 400, 2);
+  EXPECT_DOUBLE_EQ(est.bound,
+                   static_cast<double>(est.window_size) *
+                       est.event.probability / 2.0);
+}
+
+TEST(MoriLowerBound, EstimateAboveTheoryFloor) {
+  // Lemma 3 guarantees P(E) >= e^{-(1-p)}; the estimated bound must sit at
+  // or above the closed-form floor (up to Monte-Carlo noise).
+  for (const double p : {0.25, 0.5, 0.75}) {
+    const auto est = mori_lower_bound(p, 401, 2000, 3);
+    const double noise = 3.0 * est.event.stderr_est *
+                         static_cast<double>(est.window_size) / 2.0;
+    EXPECT_GE(est.bound, est.theory_floor - noise) << "p=" << p;
+  }
+}
+
+TEST(MoriLowerBound, GrowsLikeSqrtN) {
+  const auto small = mori_lower_bound(0.5, 257, 1500, 4);
+  const auto large = mori_lower_bound(0.5, 4097, 1500, 5);
+  // sqrt(4096)/sqrt(256) = 4; allow generous tolerance around it.
+  const double ratio = large.bound / small.bound;
+  EXPECT_GT(ratio, 2.5);
+  EXPECT_LT(ratio, 6.0);
+}
+
+TEST(MoriLowerBound, PEqualOneGivesExactWindowHalf) {
+  const auto est = mori_lower_bound(1.0, 226, 300, 6);
+  EXPECT_DOUBLE_EQ(est.event.probability, 1.0);
+  EXPECT_DOUBLE_EQ(est.bound, static_cast<double>(est.window_size) / 2.0);
+}
+
+TEST(MoriLowerBound, Preconditions) {
+  EXPECT_THROW((void)mori_lower_bound(0.5, 2, 10, 1), std::invalid_argument);
+}
+
+TEST(CooperFriezeLowerBound, ProducesPositiveBound) {
+  sfs::gen::CooperFriezeParams params;
+  const auto est = cooper_frieze_lower_bound(params, 401, 400, 7);
+  EXPECT_EQ(est.a, 400u);
+  EXPECT_GT(est.window_size, 0u);
+  EXPECT_GE(est.bound, 0.0);
+  EXPECT_DOUBLE_EQ(est.theory_floor, 0.0);
+}
+
+TEST(CooperFriezeLowerBound, BoundFormulaConsistent) {
+  sfs::gen::CooperFriezeParams params;
+  params.alpha = 0.75;
+  const auto est = cooper_frieze_lower_bound(params, 301, 300, 8);
+  EXPECT_DOUBLE_EQ(est.bound,
+                   static_cast<double>(est.window_size) *
+                       est.event.probability / 2.0);
+}
+
+}  // namespace

@@ -1,0 +1,177 @@
+// Tests for the discrete power-law tail estimator and samplers.
+#include "stats/powerlaw.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+using sfs::rng::Rng;
+using sfs::stats::DiscretePowerLawSampler;
+using sfs::stats::fit_power_law_auto;
+using sfs::stats::fit_power_law_tail;
+using sfs::stats::hurwitz_zeta;
+using sfs::stats::power_law_ks;
+using sfs::stats::sample_power_law_approx;
+
+std::vector<std::size_t> synthetic(double alpha, std::size_t xmin,
+                                   std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  const DiscretePowerLawSampler sampler(alpha, xmin);
+  std::vector<std::size_t> data;
+  data.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) data.push_back(sampler.sample(rng));
+  return data;
+}
+
+TEST(HurwitzZeta, ReferenceValues) {
+  EXPECT_NEAR(hurwitz_zeta(2.0, 1.0), 1.6449340668482264, 1e-9);  // pi^2/6
+  EXPECT_NEAR(hurwitz_zeta(2.5, 1.0), 1.3414872572509171, 1e-9);
+  EXPECT_NEAR(hurwitz_zeta(3.0, 1.0), 1.2020569031595943, 1e-9);
+  // Shift identity: zeta(s, q+1) = zeta(s, q) - q^{-s}.
+  EXPECT_NEAR(hurwitz_zeta(2.5, 4.0), hurwitz_zeta(2.5, 3.0) -
+                                          std::pow(3.0, -2.5),
+              1e-10);
+}
+
+TEST(HurwitzZeta, Preconditions) {
+  EXPECT_THROW((void)hurwitz_zeta(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)hurwitz_zeta(2.0, 0.0), std::invalid_argument);
+}
+
+class PowerLawRecovery : public ::testing::TestWithParam<double> {};
+
+TEST_P(PowerLawRecovery, MleRecoversAlpha) {
+  const double alpha = GetParam();
+  const auto data = synthetic(alpha, 1, 50000, 42);
+  const auto fit = fit_power_law_tail(data, 1);
+  EXPECT_NEAR(fit.alpha, alpha, 0.06) << "alpha=" << alpha;
+  EXPECT_EQ(fit.xmin, 1u);
+  EXPECT_EQ(fit.tail_count, data.size());
+  EXPECT_GT(fit.alpha_stderr, 0.0);
+  EXPECT_LT(fit.alpha_stderr, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphaSweep, PowerLawRecovery,
+                         ::testing::Values(1.8, 2.1, 2.5, 3.0, 3.5));
+
+TEST(PowerLawFit, EstimateWithinThreeStderr) {
+  const double alpha = 2.5;
+  const auto data = synthetic(alpha, 1, 30000, 6);
+  const auto fit = fit_power_law_tail(data, 1);
+  EXPECT_NEAR(fit.alpha, alpha, 4.0 * fit.alpha_stderr);
+}
+
+TEST(PowerLawFit, KsSmallForTrueModel) {
+  const auto data = synthetic(2.5, 1, 20000, 7);
+  const auto fit = fit_power_law_tail(data, 1);
+  EXPECT_LT(fit.ks_distance, 0.02);
+}
+
+TEST(PowerLawFit, KsLargeForWrongAlpha) {
+  const auto data = synthetic(2.5, 1, 20000, 8);
+  EXPECT_GT(power_law_ks(data, 1, 4.5), 0.15);
+}
+
+TEST(PowerLawFit, XminRespected) {
+  const auto data = synthetic(2.3, 5, 30000, 9);
+  const auto fit = fit_power_law_tail(data, 5);
+  EXPECT_NEAR(fit.alpha, 2.3, 0.08);
+}
+
+TEST(PowerLawFit, AutoXminFindsTail) {
+  // Mixture: a non-power-law bulk below 8 plus a clean power-law tail.
+  Rng rng(10);
+  std::vector<std::size_t> data;
+  for (int i = 0; i < 8000; ++i)
+    data.push_back(1 + static_cast<std::size_t>(rng.uniform_index(7)));
+  const auto tail = synthetic(2.4, 8, 12000, 11);
+  data.insert(data.end(), tail.begin(), tail.end());
+  const auto fit = fit_power_law_auto(data);
+  EXPECT_GE(fit.xmin, 5u);
+  EXPECT_NEAR(fit.alpha, 2.4, 0.15);
+  EXPECT_LT(fit.ks_distance, 0.05);
+}
+
+TEST(PowerLawFit, DegenerateSampleHitsCeiling) {
+  // All observations at xmin: the likelihood increases with alpha without
+  // bound, so the fit saturates at the search ceiling.
+  const std::vector<std::size_t> degenerate{2, 2, 2, 2};
+  const auto fit = fit_power_law_tail(degenerate, 2);
+  EXPECT_GT(fit.alpha, 20.0);
+}
+
+TEST(PowerLawFit, Preconditions) {
+  const std::vector<std::size_t> tiny{3};
+  EXPECT_THROW((void)fit_power_law_tail(tiny, 1), std::invalid_argument);
+  const std::vector<std::size_t> ok{1, 2, 3};
+  EXPECT_THROW((void)fit_power_law_tail(ok, 0), std::invalid_argument);
+}
+
+TEST(DiscreteSampler, RespectsXmin) {
+  Rng rng(12);
+  const DiscretePowerLawSampler sampler(2.5, 3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(sampler.sample(rng), 3u);
+  }
+}
+
+TEST(DiscreteSampler, PmfMatchesZetaLaw) {
+  Rng rng(13);
+  const double alpha = 2.2;
+  const DiscretePowerLawSampler sampler(alpha, 1);
+  constexpr int kDraws = 200000;
+  std::size_t ones = 0;
+  std::size_t twos = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto x = sampler.sample(rng);
+    if (x == 1) ++ones;
+    if (x == 2) ++twos;
+  }
+  const double z = hurwitz_zeta(alpha, 1.0);
+  EXPECT_NEAR(static_cast<double>(ones) / kDraws, 1.0 / z, 0.005);
+  EXPECT_NEAR(static_cast<double>(twos) / kDraws,
+              std::pow(2.0, -alpha) / z, 0.005);
+}
+
+TEST(DiscreteSampler, TailOutcomesBeyondCutoff) {
+  Rng rng(14);
+  const DiscretePowerLawSampler sampler(1.5, 1, 64);
+  bool saw_tail = false;
+  for (int i = 0; i < 50000; ++i) {
+    if (sampler.sample(rng) >= 64) {
+      saw_tail = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_tail);
+}
+
+TEST(DiscreteSampler, Preconditions) {
+  EXPECT_THROW(DiscretePowerLawSampler(1.0, 1), std::invalid_argument);
+  EXPECT_THROW(DiscretePowerLawSampler(2.0, 0), std::invalid_argument);
+}
+
+TEST(ApproxSampler, RespectsXminAndHeavyTail) {
+  Rng rng(15);
+  std::size_t big_small_alpha = 0;
+  std::size_t big_large_alpha = 0;
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_GE(sample_power_law_approx(2.5, 3, rng), 3u);
+    if (sample_power_law_approx(1.8, 1, rng) >= 100) ++big_small_alpha;
+    if (sample_power_law_approx(3.5, 1, rng) >= 100) ++big_large_alpha;
+  }
+  EXPECT_GT(big_small_alpha, 10 * (big_large_alpha + 1));
+}
+
+TEST(ApproxSampler, Preconditions) {
+  Rng rng(16);
+  EXPECT_THROW((void)sample_power_law_approx(1.0, 1, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)sample_power_law_approx(2.0, 0, rng),
+               std::invalid_argument);
+}
+
+}  // namespace

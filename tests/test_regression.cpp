@@ -1,0 +1,94 @@
+// Tests for line fitting and power-law (log-log) fitting.
+#include "stats/regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rng/random.hpp"
+
+namespace {
+
+using sfs::stats::fit_line;
+using sfs::stats::fit_power_law;
+
+TEST(FitLine, ExactLine) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys{3.0, 5.0, 7.0, 9.0};  // y = 1 + 2x
+  const auto f = fit_line(xs, ys);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(f.slope_stderr, 0.0, 1e-9);
+  EXPECT_EQ(f.count, 4u);
+  EXPECT_NEAR(f.at(10.0), 21.0, 1e-9);
+}
+
+TEST(FitLine, NoisyLineRecoversSlope) {
+  sfs::rng::Rng rng(1);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 500; ++i) {
+    const double x = static_cast<double>(i) / 10.0;
+    xs.push_back(x);
+    ys.push_back(4.0 - 1.5 * x + rng.uniform(-0.5, 0.5));
+  }
+  const auto f = fit_line(xs, ys);
+  EXPECT_NEAR(f.slope, -1.5, 0.01);
+  EXPECT_NEAR(f.intercept, 4.0, 0.1);
+  EXPECT_GT(f.r_squared, 0.99);
+  EXPECT_GT(f.slope_stderr, 0.0);
+  EXPECT_LT(f.slope_stderr, 0.01);
+}
+
+TEST(FitLine, FlatDataHasZeroSlope) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{5.0, 5.0, 5.0};
+  const auto f = fit_line(xs, ys);
+  EXPECT_NEAR(f.slope, 0.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 5.0, 1e-12);
+}
+
+TEST(FitLine, Preconditions) {
+  const std::vector<double> one{1.0};
+  const std::vector<double> same{2.0, 2.0};
+  const std::vector<double> ys{1.0, 2.0};
+  EXPECT_THROW((void)fit_line(one, one), std::invalid_argument);
+  EXPECT_THROW((void)fit_line(same, ys), std::invalid_argument);
+  const std::vector<double> mismatched{1.0, 2.0, 3.0};
+  EXPECT_THROW((void)fit_line(mismatched, ys), std::invalid_argument);
+}
+
+TEST(FitPowerLaw, ExactPowerLaw) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (const double x : {10.0, 100.0, 1000.0, 10000.0}) {
+    xs.push_back(x);
+    ys.push_back(3.0 * std::pow(x, 0.5));
+  }
+  const auto f = fit_power_law(xs, ys);
+  EXPECT_NEAR(f.slope, 0.5, 1e-9);
+  EXPECT_NEAR(std::exp(f.intercept), 3.0, 1e-6);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitPowerLaw, NegativeExponent) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (const double x : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+    xs.push_back(x);
+    ys.push_back(std::pow(x, -1.2));
+  }
+  const auto f = fit_power_law(xs, ys);
+  EXPECT_NEAR(f.slope, -1.2, 1e-9);
+}
+
+TEST(FitPowerLaw, RejectsNonPositive) {
+  const std::vector<double> xs{1.0, 2.0};
+  const std::vector<double> bad{0.0, 1.0};
+  EXPECT_THROW((void)fit_power_law(xs, bad), std::invalid_argument);
+  EXPECT_THROW((void)fit_power_law(bad, xs), std::invalid_argument);
+}
+
+}  // namespace

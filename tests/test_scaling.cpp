@@ -1,0 +1,108 @@
+// Tests for the scaling-experiment harness.
+#include "sim/scaling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "rng/random.hpp"
+
+namespace {
+
+using sfs::sim::geometric_sizes;
+using sfs::sim::measure_scaling;
+
+TEST(MeasureScaling, RecoversExactExponent) {
+  const auto series = measure_scaling(
+      {100, 200, 400, 800, 1600}, 3, 1,
+      [](std::size_t n, std::uint64_t) {
+        return 2.0 * std::sqrt(static_cast<double>(n));
+      });
+  EXPECT_NEAR(series.fit.slope, 0.5, 1e-9);
+  EXPECT_NEAR(std::exp(series.fit.intercept), 2.0, 1e-6);
+  EXPECT_EQ(series.points.size(), 5u);
+  for (const auto& p : series.points) {
+    EXPECT_EQ(p.summary.count, 3u);
+    EXPECT_EQ(p.raw.size(), 3u);
+  }
+}
+
+TEST(MeasureScaling, NoisyExponentWithinTolerance) {
+  const auto series = measure_scaling(
+      {128, 256, 512, 1024, 2048, 4096}, 10, 2,
+      [](std::size_t n, std::uint64_t seed) {
+        sfs::rng::Rng rng(seed);
+        const double base = std::pow(static_cast<double>(n), 0.8);
+        return base * rng.uniform(0.8, 1.2);
+      });
+  EXPECT_NEAR(series.fit.slope, 0.8, 0.06);
+  EXPECT_GT(series.fit.r_squared, 0.98);
+}
+
+TEST(MeasureScaling, SeedsAreDeterministic) {
+  std::vector<double> seen_a;
+  std::vector<double> seen_b;
+  auto run = [](std::vector<double>& seen) {
+    return [&seen](std::size_t n, std::uint64_t seed) {
+      seen.push_back(static_cast<double>(seed));
+      return static_cast<double>(n);
+    };
+  };
+  (void)measure_scaling({10, 20}, 2, 7, run(seen_a));
+  (void)measure_scaling({10, 20}, 2, 7, run(seen_b));
+  EXPECT_EQ(seen_a, seen_b);
+  // Distinct seeds across reps and sizes.
+  std::set<double> unique(seen_a.begin(), seen_a.end());
+  EXPECT_EQ(unique.size(), seen_a.size());
+}
+
+TEST(MeasureScaling, MeansAndSizesHelpers) {
+  const auto series = measure_scaling(
+      {10, 100}, 1, 3,
+      [](std::size_t n, std::uint64_t) { return static_cast<double>(n); });
+  EXPECT_EQ(series.sizes(), (std::vector<double>{10.0, 100.0}));
+  EXPECT_EQ(series.means(), (std::vector<double>{10.0, 100.0}));
+}
+
+TEST(MeasureScaling, Preconditions) {
+  auto f = [](std::size_t, std::uint64_t) { return 1.0; };
+  EXPECT_THROW((void)measure_scaling({}, 1, 1, f), std::invalid_argument);
+  EXPECT_THROW((void)measure_scaling({10}, 0, 1, f), std::invalid_argument);
+}
+
+TEST(GeometricSizes, EndpointsAndMonotonicity) {
+  const auto sizes = geometric_sizes(100, 10000, 5);
+  EXPECT_EQ(sizes.front(), 100u);
+  EXPECT_EQ(sizes.back(), 10000u);
+  for (std::size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_LT(sizes[i - 1], sizes[i]);
+  }
+}
+
+TEST(GeometricSizes, RoughlyGeometric) {
+  const auto sizes = geometric_sizes(100, 1600, 5);
+  // Ratios near 2.
+  for (std::size_t i = 1; i < sizes.size(); ++i) {
+    const double ratio = static_cast<double>(sizes[i]) /
+                         static_cast<double>(sizes[i - 1]);
+    EXPECT_GT(ratio, 1.5);
+    EXPECT_LT(ratio, 2.7);
+  }
+}
+
+TEST(GeometricSizes, CollapsesSmallRanges) {
+  const auto sizes = geometric_sizes(10, 12, 6);
+  EXPECT_EQ(sizes.front(), 10u);
+  EXPECT_EQ(sizes.back(), 12u);
+  for (std::size_t i = 1; i < sizes.size(); ++i)
+    EXPECT_LT(sizes[i - 1], sizes[i]);
+}
+
+TEST(GeometricSizes, Preconditions) {
+  EXPECT_THROW((void)geometric_sizes(0, 10, 3), std::invalid_argument);
+  EXPECT_THROW((void)geometric_sizes(10, 5, 3), std::invalid_argument);
+  EXPECT_THROW((void)geometric_sizes(1, 10, 1), std::invalid_argument);
+}
+
+}  // namespace

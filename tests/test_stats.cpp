@@ -1,0 +1,93 @@
+// Tests for summary statistics.
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+using sfs::stats::Accumulator;
+using sfs::stats::median;
+using sfs::stats::quantile;
+using sfs::stats::summarize;
+
+TEST(Summary, KnownValues) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const auto s = summarize(xs);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.variance, 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_NEAR(s.stderr_mean, s.stddev / std::sqrt(8.0), 1e-12);
+  EXPECT_NEAR(s.ci95_halfwidth(), 1.96 * s.stderr_mean, 1e-12);
+}
+
+TEST(Summary, EmptyInput) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.variance, 0.0);
+}
+
+TEST(Summary, SingleValue) {
+  const std::vector<double> xs{3.5};
+  const auto s = summarize(xs);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.variance, 0.0);
+  EXPECT_DOUBLE_EQ(s.stderr_mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 3.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.5);
+}
+
+TEST(Summary, ConstantSampleHasZeroVariance) {
+  const std::vector<double> xs{2.0, 2.0, 2.0, 2.0};
+  const auto s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.variance, 0.0);
+}
+
+TEST(Accumulator, MatchesBatchSummary) {
+  const std::vector<double> xs{1.0, -2.0, 3.5, 0.0, 8.25, -1.5};
+  Accumulator acc;
+  for (const double x : xs) acc.add(x);
+  const auto a = acc.summary();
+  const auto b = summarize(xs);
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_NEAR(a.mean, b.mean, 1e-12);
+  EXPECT_NEAR(a.variance, b.variance, 1e-12);
+  EXPECT_DOUBLE_EQ(a.min, b.min);
+  EXPECT_DOUBLE_EQ(a.max, b.max);
+}
+
+TEST(Quantile, SortedInterpolation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0 / 3.0), 2.0);
+}
+
+TEST(Quantile, UnsortedInput) {
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+}
+
+TEST(Quantile, Preconditions) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW((void)quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)quantile(xs, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)quantile(xs, -0.1), std::invalid_argument);
+}
+
+TEST(Median, OddAndEven) {
+  const std::vector<double> odd{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(odd), 3.0);
+  const std::vector<double> even{1.0, 2.0, 3.0, 10.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+}  // namespace

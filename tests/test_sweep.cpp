@@ -1,0 +1,118 @@
+// Tests for portfolio search-cost measurement.
+#include "sim/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/mori.hpp"
+
+namespace {
+
+using sfs::graph::Graph;
+using sfs::graph::VertexId;
+using sfs::sim::measure_strong_portfolio;
+using sfs::sim::measure_weak_portfolio;
+using sfs::sim::newest_to_paper_id;
+using sfs::sim::oldest_to_newest;
+using sfs::sim::random_to_newest;
+
+sfs::sim::GraphFactory mori_factory(std::size_t n, double p) {
+  return [n, p](sfs::rng::Rng& rng) {
+    return sfs::gen::mori_tree(n, sfs::gen::MoriParams{p}, rng);
+  };
+}
+
+TEST(MeasureWeakPortfolio, AllPoliciesSucceedOnTrees) {
+  const auto cost = measure_weak_portfolio(
+      mori_factory(200, 0.5), oldest_to_newest(), 8, 1,
+      sfs::search::RunBudget{.max_raw_requests = 500000});
+  ASSERT_EQ(cost.policies.size(), 10u);
+  for (const auto& p : cost.policies) {
+    EXPECT_DOUBLE_EQ(p.found_fraction, 1.0) << p.name;
+    EXPECT_EQ(p.requests.count, 8u);
+    EXPECT_GT(p.requests.mean, 0.0);
+    EXPECT_GE(p.raw_requests.mean, p.requests.mean);
+  }
+}
+
+TEST(MeasureWeakPortfolio, BestIsLowestMeanAmongComplete) {
+  const auto cost = measure_weak_portfolio(
+      mori_factory(150, 0.5), oldest_to_newest(), 6, 2,
+      sfs::search::RunBudget{.max_raw_requests = 500000});
+  const auto& best = cost.best_policy();
+  for (const auto& p : cost.policies) {
+    if (p.found_fraction >= 1.0) {
+      EXPECT_LE(best.requests.mean, p.requests.mean) << p.name;
+    }
+  }
+}
+
+TEST(MeasureWeakPortfolio, DeterministicForSeed) {
+  const auto a = measure_weak_portfolio(
+      mori_factory(100, 0.5), oldest_to_newest(), 4, 3,
+      sfs::search::RunBudget{.max_raw_requests = 500000});
+  const auto b = measure_weak_portfolio(
+      mori_factory(100, 0.5), oldest_to_newest(), 4, 3,
+      sfs::search::RunBudget{.max_raw_requests = 500000});
+  for (std::size_t i = 0; i < a.policies.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.policies[i].requests.mean,
+                     b.policies[i].requests.mean);
+  }
+}
+
+TEST(MeasureStrongPortfolio, AllPoliciesSucceed) {
+  const auto cost = measure_strong_portfolio(
+      mori_factory(200, 0.3), oldest_to_newest(), 6, 4);
+  ASSERT_EQ(cost.policies.size(), 5u);
+  for (const auto& p : cost.policies) {
+    EXPECT_DOUBLE_EQ(p.found_fraction, 1.0) << p.name;
+    // Strong requests bounded by vertex count.
+    EXPECT_LE(p.requests.max, 200.0);
+  }
+}
+
+TEST(Selectors, OldestToNewest) {
+  sfs::rng::Rng rng(5);
+  const Graph g = sfs::gen::mori_tree(50, sfs::gen::MoriParams{0.5}, rng);
+  sfs::rng::Rng sel_rng(6);
+  const auto [s, t] = oldest_to_newest()(g, sel_rng);
+  EXPECT_EQ(s, 0u);
+  EXPECT_EQ(t, 49u);
+}
+
+TEST(Selectors, RandomToNewestAvoidsTarget) {
+  sfs::rng::Rng rng(7);
+  const Graph g = sfs::gen::mori_tree(20, sfs::gen::MoriParams{0.5}, rng);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    sfs::rng::Rng sel_rng(i);
+    const auto [s, t] = random_to_newest()(g, sel_rng);
+    EXPECT_EQ(t, 19u);
+    EXPECT_NE(s, t);
+    EXPECT_LT(s, 20u);
+  }
+}
+
+TEST(Selectors, NewestToPaperId) {
+  sfs::rng::Rng rng(8);
+  const Graph g = sfs::gen::mori_tree(30, sfs::gen::MoriParams{0.5}, rng);
+  sfs::rng::Rng sel_rng(9);
+  const auto [s, t] = newest_to_paper_id(1)(g, sel_rng);
+  EXPECT_EQ(s, 29u);
+  EXPECT_EQ(t, 0u);  // paper id 1 = internal 0
+  EXPECT_THROW((void)newest_to_paper_id(31)(g, sel_rng),
+               std::invalid_argument);
+}
+
+TEST(MeasureWeakPortfolio, SearchingRootIsCheaperThanNewest) {
+  // The asymmetry at the heart of the paper: old vertices are easy to find
+  // (high degree, age gradient), the newest is hard.
+  const auto to_root = measure_weak_portfolio(
+      mori_factory(400, 0.5), newest_to_paper_id(1), 6, 10,
+      sfs::search::RunBudget{.max_raw_requests = 500000});
+  const auto to_newest = measure_weak_portfolio(
+      mori_factory(400, 0.5), oldest_to_newest(), 6, 10,
+      sfs::search::RunBudget{.max_raw_requests = 500000});
+  EXPECT_LT(to_root.best_policy().requests.mean,
+            to_newest.best_policy().requests.mean);
+}
+
+}  // namespace

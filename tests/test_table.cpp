@@ -1,0 +1,82 @@
+// Tests for table formatting and CSV emission.
+#include "sim/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/csv.hpp"
+
+namespace {
+
+using sfs::sim::csv_escape;
+using sfs::sim::format_double;
+using sfs::sim::Table;
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+  EXPECT_EQ(format_double(-0.5, 3), "-0.500");
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t("demo", {"n", "cost"});
+  t.row().integer(100).num(12.5, 1);
+  t.row().integer(100000).num(3.0, 1);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("n"), std::string::npos);
+  EXPECT_NE(out.find("100000"), std::string::npos);
+  EXPECT_NE(out.find("12.5"), std::string::npos);
+  // Rule line present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, NumRows) {
+  Table t("x", {"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.row().cell("1");
+  t.row().cell("2");
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, RowOverflowRejected) {
+  Table t("x", {"a", "b"});
+  t.row().cell("1").cell("2");
+  EXPECT_THROW(t.cell("3"), std::invalid_argument);
+}
+
+TEST(Table, CellWithoutRowRejected) {
+  Table t("x", {"a"});
+  EXPECT_THROW(t.cell("1"), std::invalid_argument);
+}
+
+TEST(Table, IncompleteRowDetectedOnNextRow) {
+  Table t("x", {"a", "b"});
+  t.row().cell("1");
+  EXPECT_THROW(t.row(), std::logic_error);
+}
+
+TEST(Table, EmptyHeadersRejected) {
+  EXPECT_THROW(Table("x", {}), std::invalid_argument);
+}
+
+TEST(Table, CsvOutput) {
+  Table t("t", {"a", "b"});
+  t.row().cell("1").cell("with,comma");
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,\"with,comma\"\n");
+}
+
+TEST(CsvEscape, QuotingRules) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+}  // namespace

@@ -1,0 +1,211 @@
+// Tests for the weak-model search policies.
+#include "search/weak_algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/mori.hpp"
+#include "graph/builder.hpp"
+#include "search/runner.hpp"
+
+namespace {
+
+using sfs::graph::Graph;
+using sfs::graph::GraphBuilder;
+using sfs::graph::VertexId;
+using sfs::rng::Rng;
+using sfs::search::run_weak;
+using sfs::search::RunBudget;
+using sfs::search::SearchResult;
+using sfs::search::weak_portfolio;
+using sfs::search::weak_portfolio_names;
+
+Graph path_graph(std::size_t n) {
+  GraphBuilder b(n);
+  for (VertexId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.build();
+}
+
+Graph star_with_tail() {
+  // Star centered at 0 with leaves 1..4, plus a tail 4 - 5 - 6.
+  GraphBuilder b(7);
+  for (VertexId v = 1; v <= 4; ++v) b.add_edge(v, 0);
+  b.add_edge(4, 5);
+  b.add_edge(5, 6);
+  return b.build();
+}
+
+// Every portfolio policy must find the target on a connected graph.
+class WeakPortfolio : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  std::unique_ptr<sfs::search::WeakSearcher> make() {
+    auto portfolio = weak_portfolio();
+    return std::move(portfolio.at(GetParam()));
+  }
+};
+
+TEST_P(WeakPortfolio, FindsTargetOnPath) {
+  auto searcher = make();
+  Rng rng(1);
+  const Graph g = path_graph(12);
+  const SearchResult r = run_weak(g, 0, 11, *searcher, rng);
+  EXPECT_TRUE(r.found) << searcher->name();
+  EXPECT_GE(r.requests, 11u);  // must traverse the whole path
+  EXPECT_EQ(r.path_length, 11u);
+}
+
+TEST_P(WeakPortfolio, FindsTargetOnStarWithTail) {
+  auto searcher = make();
+  Rng rng(2);
+  const Graph g = star_with_tail();
+  const SearchResult r = run_weak(g, 1, 6, *searcher, rng);
+  EXPECT_TRUE(r.found) << searcher->name();
+  EXPECT_GT(r.requests, 0u);
+}
+
+TEST_P(WeakPortfolio, FindsNewestVertexInMoriTree) {
+  auto searcher = make();
+  Rng graph_rng(3);
+  const Graph g =
+      sfs::gen::mori_tree(300, sfs::gen::MoriParams{0.5}, graph_rng);
+  Rng rng(4);
+  const SearchResult r = run_weak(g, 0, 299, *searcher, rng,
+                                  RunBudget{.max_raw_requests = 2000000});
+  EXPECT_TRUE(r.found) << searcher->name();
+  // Charged requests can never exceed the edge count.
+  EXPECT_LE(r.requests, g.num_edges());
+}
+
+TEST_P(WeakPortfolio, ImmediateSuccessWhenStartIsTarget) {
+  auto searcher = make();
+  Rng rng(5);
+  const Graph g = path_graph(5);
+  const SearchResult r = run_weak(g, 2, 2, *searcher, rng);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.requests, 0u);
+  EXPECT_EQ(r.path_length, 0u);
+}
+
+TEST_P(WeakPortfolio, DeterministicForSeed) {
+  const Graph g = star_with_tail();
+  auto s1 = make();
+  auto s2 = make();
+  Rng r1(6);
+  Rng r2(6);
+  const SearchResult a = run_weak(g, 1, 6, *s1, r1);
+  const SearchResult b = run_weak(g, 1, 6, *s2, r2);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.raw_requests, b.raw_requests);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, WeakPortfolio,
+                         ::testing::Range<std::size_t>(0, 10));
+
+TEST(WeakPortfolioMeta, NamesAreUniqueAndNonEmpty) {
+  const auto names = weak_portfolio_names();
+  EXPECT_EQ(names.size(), 10u);
+  std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size());
+  for (const auto& n : names) EXPECT_FALSE(n.empty());
+}
+
+TEST(BfsWeak, ChargesEveryEdgeAtMostOnce) {
+  sfs::search::BfsWeak bfs;
+  Rng rng(7);
+  const Graph g = star_with_tail();
+  const SearchResult r = run_weak(g, 0, 6, bfs, rng);
+  EXPECT_TRUE(r.found);
+  EXPECT_LE(r.requests, g.num_edges());
+  EXPECT_EQ(r.requests, r.raw_requests);  // BFS never repeats a request
+}
+
+TEST(BfsWeak, ExploresInBreadthOrder) {
+  // On the star, BFS from the center reveals all leaves before walking the
+  // tail: finding leaf 3 takes at most deg(center) requests.
+  sfs::search::BfsWeak bfs;
+  Rng rng(8);
+  const Graph g = star_with_tail();
+  const SearchResult r = run_weak(g, 0, 3, bfs, rng);
+  EXPECT_TRUE(r.found);
+  EXPECT_LE(r.requests, 4u);
+}
+
+TEST(DfsWeak, FollowsOneBranchDeep) {
+  sfs::search::DfsWeak dfs;
+  Rng rng(9);
+  const Graph g = path_graph(20);
+  const SearchResult r = run_weak(g, 0, 19, dfs, rng);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.requests, 19u);
+}
+
+TEST(DegreeGreedyWeak, PrefersHighDegreeVertex) {
+  // Two-hub graph: hub A (0, degree 6) and hub B (7, degree 3); start
+  // bridges both. Degree-greedy must exhaust hub A before hub B.
+  GraphBuilder b(11);
+  for (VertexId v = 1; v <= 5; ++v) b.add_edge(v, 0);   // hub A leaves
+  b.add_edge(6, 0);                                     // start -> hub A
+  b.add_edge(6, 7);                                     // start -> hub B
+  b.add_edge(8, 7);
+  b.add_edge(9, 7);                                     // hub B leaves
+  b.add_edge(10, 9);                                    // target behind B
+  const Graph g = b.build();
+  auto greedy = sfs::search::make_degree_greedy_weak();
+  Rng rng(10);
+  const SearchResult r = run_weak(g, 6, 10, *greedy, rng);
+  EXPECT_TRUE(r.found);
+  // It must have explored hub A's 6 edges plus hub B's 3 plus the tail:
+  // cost reflects the detour through the high-degree hub.
+  EXPECT_GE(r.requests, 9u);
+}
+
+TEST(MinIdGreedy, ClimbsTowardOldVertices) {
+  Rng graph_rng(11);
+  const Graph g =
+      sfs::gen::mori_tree(500, sfs::gen::MoriParams{0.5}, graph_rng);
+  auto minid = sfs::search::make_min_id_greedy_weak();
+  Rng rng(12);
+  // Searching for the ROOT from the newest vertex should be very fast:
+  // min-id greedy follows the age gradient.
+  const SearchResult r = run_weak(g, 499, 0, *minid, rng);
+  EXPECT_TRUE(r.found);
+  EXPECT_LT(r.requests, 100u);
+}
+
+TEST(RandomWalkWeak, EventuallyFindsOnSmallGraph) {
+  sfs::search::RandomWalkWeak walk;
+  Rng rng(13);
+  const Graph g = path_graph(6);
+  const SearchResult r =
+      run_weak(g, 0, 5, walk, rng, RunBudget{.max_raw_requests = 100000});
+  EXPECT_TRUE(r.found);
+  EXPECT_GE(r.raw_requests, r.requests);
+}
+
+TEST(NoBacktrackWalk, NeverImmediatelyReturnsOnDegreeTwo) {
+  // On a cycle, a no-backtrack walk is a deterministic direction sweep, so
+  // it reaches the antipode in exactly n/2 or wraps in n-1 steps.
+  GraphBuilder b(10);
+  for (VertexId v = 0; v < 10; ++v)
+    b.add_edge(v, static_cast<VertexId>((v + 1) % 10));
+  sfs::search::NoBacktrackWalkWeak walk;
+  Rng rng(14);
+  const SearchResult r = run_weak(b.build(), 0, 5, walk, rng);
+  EXPECT_TRUE(r.found);
+  EXPECT_LE(r.raw_requests, 9u);
+}
+
+TEST(RandomFrontierWeak, CoversDisconnectedComponentGracefully) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  sfs::search::RandomFrontierWeak frontier;
+  Rng rng(15);
+  const SearchResult r = run_weak(b.build(), 0, 3, frontier, rng);
+  EXPECT_FALSE(r.found);
+  EXPECT_TRUE(r.gave_up);
+  EXPECT_EQ(r.requests, 1u);  // only edge 0-1 reachable
+}
+
+}  // namespace
