@@ -29,6 +29,26 @@ void BM_WeakBfsFullSearch(benchmark::State& state) {
 }
 BENCHMARK(BM_WeakBfsFullSearch)->Arg(1 << 12)->Arg(1 << 15);
 
+// The replication-engine hot path: same search, but the O(n+m) per-run
+// state lives in a reused SearchWorkspace (O(1) epoch reset), as in
+// sim/sweep's per-worker loops.
+void BM_WeakBfsFullSearchWorkspace(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = test_graph(n);
+  sfs::search::SearchWorkspace ws;
+  sfs::search::BfsWeak bfs;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sfs::rng::Rng rng(seed++);
+    auto r = sfs::search::run_weak(
+        g, 0, static_cast<sfs::graph::VertexId>(n - 1), bfs, rng, {}, ws);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_WeakBfsFullSearchWorkspace)->Arg(1 << 12)->Arg(1 << 15);
+
 void BM_WeakDegreeGreedy(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto g = test_graph(n);
@@ -78,5 +98,23 @@ void BM_StrongDegreeGreedy(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_StrongDegreeGreedy)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_StrongDegreeGreedyWorkspace(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = test_graph(n);
+  sfs::search::SearchWorkspace ws;
+  const auto greedy = sfs::search::make_degree_greedy_strong();
+  std::uint64_t seed = 4;
+  for (auto _ : state) {
+    sfs::rng::Rng rng(seed++);
+    auto r = sfs::search::run_strong(
+        g, 0, static_cast<sfs::graph::VertexId>(n - 1), *greedy, rng, {},
+        ws);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_StrongDegreeGreedyWorkspace)->Arg(1 << 12)->Arg(1 << 15);
 
 }  // namespace

@@ -1,7 +1,13 @@
 // Shared helpers for the experiment benches: scaling-table printing with
-// fitted exponents next to theory predictions.
+// fitted exponents next to theory predictions, wall-clock timing, and
+// machine-readable JSON result lines (one object per line, prefixed
+// "BENCH_JSON ", so perf trajectories can be grepped out of bench logs and
+// tracked across commits).
 #pragma once
 
+#include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <iostream>
 #include <string>
 
@@ -10,8 +16,70 @@
 
 namespace sfs::bench {
 
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+namespace detail {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  char buf[8];
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (u < 0x20) {
+      std::snprintf(buf, sizeof buf, "\\u%04x", u);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+inline std::string json_num(double v) {
+  if (!std::isfinite(v)) return "null";
+  return sim::format_double(v, 6);
+}
+
+}  // namespace detail
+
+/// Emits one machine-readable result line:
+///   BENCH_JSON {"bench":...,"n":...,"reps":...,"mean":...,"stderr":...,
+///               "wall_s":...}
+/// Pass a negative `wall_seconds` when wall time was not measured (emitted
+/// as null).
+inline void emit_json_line(const std::string& name, std::size_t n,
+                           std::size_t reps, double mean, double stderr_mean,
+                           double wall_seconds,
+                           std::ostream& out = std::cout) {
+  out << "BENCH_JSON {\"bench\":\"" << detail::json_escape(name)
+      << "\",\"n\":" << n << ",\"reps\":" << reps
+      << ",\"mean\":" << detail::json_num(mean)
+      << ",\"stderr\":" << detail::json_num(stderr_mean) << ",\"wall_s\":"
+      << (wall_seconds < 0.0 ? std::string("null")
+                             : detail::json_num(wall_seconds))
+      << "}\n";
+}
+
 /// Prints a ScalingSeries as a table with a fitted-slope footer comparing
-/// against a theoretical exponent.
+/// against a theoretical exponent, plus one BENCH_JSON line per sweep
+/// point (wall time unmeasured at this granularity).
 inline void print_scaling(const std::string& title,
                           const sim::ScalingSeries& series,
                           const std::string& quantity, double theory_slope,
@@ -31,6 +99,10 @@ inline void print_scaling(const std::string& title,
             << "  (R^2 " << sim::format_double(series.fit.r_squared, 3)
             << ")   theory " << theory_label << ": "
             << sim::format_double(theory_slope, 3) << "\n\n";
+  for (const auto& pt : series.points) {
+    emit_json_line(title, pt.n, pt.summary.count, pt.summary.mean,
+                   pt.summary.stderr_mean, /*wall_seconds=*/-1.0);
+  }
 }
 
 }  // namespace sfs::bench

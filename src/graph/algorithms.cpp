@@ -22,12 +22,14 @@ BfsResult bfs(const Graph& g, VertexId source) {
   while (!queue.empty()) {
     const VertexId u = queue.front();
     queue.pop_front();
-    for (const EdgeId e : g.incident(u)) {
-      const VertexId v = g.other_endpoint(e, u);
+    const auto inc = g.incident(u);
+    const auto adj = g.adjacent(u);
+    for (std::size_t i = 0; i < inc.size(); ++i) {
+      const VertexId v = adj[i];
       if (r.distance[v] != kUnreachable) continue;
       r.distance[v] = r.distance[u] + 1;
       r.parent[v] = u;
-      r.parent_edge[v] = e;
+      r.parent_edge[v] = inc[i];
       if (r.distance[v] > r.max_distance) {
         r.max_distance = r.distance[v];
         r.farthest = v;
@@ -79,8 +81,7 @@ Components connected_components(const Graph& g) {
     while (!stack.empty()) {
       const VertexId u = stack.back();
       stack.pop_back();
-      for (const EdgeId e : g.incident(u)) {
-        const VertexId v = g.other_endpoint(e, u);
+      for (const VertexId v : g.adjacent(u)) {
         if (c.label[v] == static_cast<std::uint32_t>(-1)) {
           c.label[v] = lab;
           stack.push_back(v);

@@ -44,13 +44,16 @@ Graph GraphBuilder::build() {
   g.offsets_.assign(n + 1, 0);
   for (std::size_t v = 0; v < n; ++v) g.offsets_[v + 1] = g.offsets_[v] + deg[v];
   g.incidence_.assign(g.offsets_[n], kNoEdge);
+  g.incidence_vertex_.assign(g.offsets_[n], kNoVertex);
 
   std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
   for (std::size_t i = 0; i < g.edges_.size(); ++i) {
     const auto id = static_cast<EdgeId>(i);
     const Edge& e = g.edges_[i];
-    g.incidence_[cursor[e.tail]++] = id;
-    g.incidence_[cursor[e.head]++] = id;  // self-loop: listed twice
+    g.incidence_[cursor[e.tail]] = id;
+    g.incidence_vertex_[cursor[e.tail]++] = e.head;
+    g.incidence_[cursor[e.head]] = id;  // self-loop: listed twice
+    g.incidence_vertex_[cursor[e.head]++] = e.tail;
   }
   return g;
 }

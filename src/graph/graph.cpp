@@ -3,11 +3,8 @@
 namespace sfs::graph {
 
 std::vector<VertexId> Graph::neighbors(VertexId v) const {
-  const auto inc = incident(v);
-  std::vector<VertexId> result;
-  result.reserve(inc.size());
-  for (const EdgeId e : inc) result.push_back(other_endpoint(e, v));
-  return result;
+  const auto adj = adjacent(v);
+  return {adj.begin(), adj.end()};
 }
 
 bool Graph::has_edge(VertexId u, VertexId v) const {
@@ -15,8 +12,8 @@ bool Graph::has_edge(VertexId u, VertexId v) const {
               "vertex id out of range");
   const VertexId probe = degree(u) <= degree(v) ? u : v;
   const VertexId other = probe == u ? v : u;
-  for (const EdgeId e : incident(probe)) {
-    if (other_endpoint(e, probe) == other) return true;
+  for (const VertexId w : adjacent(probe)) {
+    if (w == other) return true;
   }
   return false;
 }

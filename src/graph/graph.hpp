@@ -70,6 +70,17 @@ class Graph {
             incidence_.data() + offsets_[v + 1]};
   }
 
+  /// Neighbor ids of `v`, slot-aligned with incident(v): adjacent(v)[i] is
+  /// the endpoint of incident(v)[i] opposite to `v` (a self-loop
+  /// contributes `v` itself, twice). This is the search-layer fast path:
+  /// hot loops read the neighbor straight from the CSR payload instead of
+  /// bouncing through edges_[e].
+  [[nodiscard]] std::span<const VertexId> adjacent(VertexId v) const {
+    SFS_REQUIRE(v < num_vertices(), "vertex id out of range");
+    return {incidence_vertex_.data() + offsets_[v],
+            incidence_vertex_.data() + offsets_[v + 1]};
+  }
+
   /// Undirected degree (self-loops count twice).
   [[nodiscard]] std::size_t degree(VertexId v) const {
     SFS_REQUIRE(v < num_vertices(), "vertex id out of range");
@@ -114,8 +125,9 @@ class Graph {
   friend class GraphBuilder;
 
   std::vector<Edge> edges_;
-  std::vector<std::size_t> offsets_;    // CSR offsets, size n+1
-  std::vector<EdgeId> incidence_;       // CSR payload, size 2m
+  std::vector<std::size_t> offsets_;      // CSR offsets, size n+1
+  std::vector<EdgeId> incidence_;         // CSR payload, size 2m
+  std::vector<VertexId> incidence_vertex_;  // far endpoint per slot, size 2m
   std::vector<std::uint32_t> in_degree_;
   std::vector<std::uint32_t> out_degree_;
 };

@@ -45,8 +45,7 @@ CoreDecomposition core_decomposition(const Graph& g) {
     const VertexId v = order[i];
     out.core_number[v] = deg[v];
     out.degeneracy = std::max(out.degeneracy, deg[v]);
-    for (const EdgeId e : g.incident(v)) {
-      const VertexId u = g.other_endpoint(e, v);
+    for (const VertexId u : g.adjacent(v)) {
       if (deg[u] > deg[v]) {
         // Move u one bucket down: swap it with the first vertex of its
         // current bucket, then shrink the bucket boundary.

@@ -145,4 +145,13 @@ std::uint64_t derive_seed(std::uint64_t experiment_seed,
   return mix64(experiment_seed ^ mix64(0x5eedULL + rep));
 }
 
+std::uint64_t derive_stream_seed(std::uint64_t experiment_seed,
+                                 std::uint64_t stream,
+                                 std::uint64_t rep) noexcept {
+  // Stream 0 must coincide with derive_seed(experiment_seed, rep): the
+  // historical harness seeds (graph stream untagged, other streams tagged
+  // by XOR) are load-bearing for reproducing recorded experiment tables.
+  return derive_seed(experiment_seed ^ (stream == 0 ? 0 : stream), rep);
+}
+
 }  // namespace sfs::rng

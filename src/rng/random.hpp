@@ -127,4 +127,15 @@ class Rng {
 [[nodiscard]] std::uint64_t derive_seed(std::uint64_t experiment_seed,
                                         std::uint64_t rep) noexcept;
 
+/// Derives the seed for logical stream `stream` of replication `rep`
+/// (stream 0 = the graph, further streams = endpoints, per-policy
+/// searches, ...). Every stream of every replication is a pure function of
+/// (experiment_seed, stream, rep), which is what lets the parallel
+/// replication engine (sim/parallel.hpp) fan replications out across
+/// threads while staying bit-identical to a sequential loop — no RNG
+/// state is ever shared between replications. See docs/PERF.md.
+[[nodiscard]] std::uint64_t derive_stream_seed(std::uint64_t experiment_seed,
+                                               std::uint64_t stream,
+                                               std::uint64_t rep) noexcept;
+
 }  // namespace sfs::rng

@@ -15,8 +15,7 @@ GreedyRouteResult greedy_route(const gen::KleinbergGrid& grid,
   while (current != target && r.steps < max_steps) {
     VertexId best = current;
     std::size_t best_dist = grid.lattice_distance(current, target);
-    for (const graph::EdgeId e : g.incident(current)) {
-      const VertexId v = g.other_endpoint(e, current);
+    for (const VertexId v : g.adjacent(current)) {
       const std::size_t d = grid.lattice_distance(v, target);
       if (d < best_dist || (d == best_dist && v < best && best != current)) {
         best = v;

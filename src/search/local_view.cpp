@@ -1,6 +1,7 @@
 #include "search/local_view.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace sfs::search {
 
@@ -9,22 +10,57 @@ using graph::kNoEdge;
 using graph::kNoVertex;
 using graph::VertexId;
 
+void SearchWorkspace::begin_run(std::size_t n, std::size_t m) {
+  if (epoch_ == std::numeric_limits<std::uint32_t>::max()) {
+    // Stamp wraparound (once per ~4 billion runs): re-zero so stale stamps
+    // from long-dead epochs cannot collide with fresh ones.
+    std::fill(known_stamp_.begin(), known_stamp_.end(), 0u);
+    std::fill(explored_stamp_.begin(), explored_stamp_.end(), 0u);
+    std::fill(requested_stamp_.begin(), requested_stamp_.end(), 0u);
+    epoch_ = 0;
+  }
+  ++epoch_;
+  if (known_stamp_.size() < n) {
+    known_stamp_.resize(n, 0u);
+    requested_stamp_.resize(n, 0u);
+    unexplored_cursor_.resize(n);
+    parent_.resize(n, kNoVertex);
+  }
+  if (explored_stamp_.size() < m) explored_stamp_.resize(m, 0u);
+  known_order_.clear();
+}
+
 LocalView::LocalView(const graph::Graph& g, KnowledgeModel model,
                      VertexId start, VertexId target)
-    : graph_(&g), model_(model), start_(start), target_(target) {
+    : graph_(&g),
+      model_(model),
+      start_(start),
+      target_(target),
+      owned_(std::make_unique<SearchWorkspace>()),
+      ws_(owned_.get()) {
   SFS_REQUIRE(start < g.num_vertices(), "start vertex out of range");
   SFS_REQUIRE(target < g.num_vertices(), "target vertex out of range");
-  known_.assign(g.num_vertices(), false);
-  parent_.assign(g.num_vertices(), kNoVertex);
-  explored_edge_.assign(g.num_edges(), false);
-  requested_vertex_.assign(g.num_vertices(), false);
-  unexplored_cursor_.assign(g.num_vertices(), 0);
+  ws_->begin_run(g.num_vertices(), g.num_edges());
+  make_known(start, kNoVertex);
+}
+
+LocalView::LocalView(const graph::Graph& g, KnowledgeModel model,
+                     VertexId start, VertexId target,
+                     SearchWorkspace& workspace)
+    : graph_(&g),
+      model_(model),
+      start_(start),
+      target_(target),
+      ws_(&workspace) {
+  SFS_REQUIRE(start < g.num_vertices(), "start vertex out of range");
+  SFS_REQUIRE(target < g.num_vertices(), "target vertex out of range");
+  ws_->begin_run(g.num_vertices(), g.num_edges());
   make_known(start, kNoVertex);
 }
 
 bool LocalView::is_known(VertexId v) const {
   SFS_REQUIRE(v < graph_->num_vertices(), "vertex out of range");
-  return known_[v];
+  return known(v);
 }
 
 std::size_t LocalView::degree(VertexId v) const {
@@ -39,22 +75,22 @@ std::span<const EdgeId> LocalView::incident(VertexId v) const {
 
 bool LocalView::edge_explored(EdgeId e) const {
   SFS_REQUIRE(e < graph_->num_edges(), "edge out of range");
-  return explored_edge_[e];
+  return explored(e);
 }
 
 std::optional<VertexId> LocalView::far_endpoint(EdgeId e, VertexId u) const {
   SFS_REQUIRE(is_known(u), "far_endpoint from an unknown vertex");
   const graph::Edge& ed = graph_->edge(e);
   SFS_REQUIRE(ed.tail == u || ed.head == u, "edge not incident to u");
-  if (!explored_edge_[e]) return std::nullopt;
+  if (!explored(e)) return std::nullopt;
   return graph_->other_endpoint(e, u);
 }
 
 std::optional<EdgeId> LocalView::first_unexplored(VertexId v) const {
   SFS_REQUIRE(is_known(v), "first_unexplored of an unknown vertex");
   const auto inc = graph_->incident(v);
-  auto& cur = unexplored_cursor_[v];
-  while (cur < inc.size() && explored_edge_[inc[cur]]) ++cur;
+  auto& cur = ws_->unexplored_cursor_[v];
+  while (cur < inc.size() && explored(inc[cur])) ++cur;
   if (cur >= inc.size()) return std::nullopt;
   return inc[cur];
 }
@@ -67,51 +103,60 @@ VertexId LocalView::request_edge(VertexId u, EdgeId e) {
   SFS_REQUIRE(ed.tail == u || ed.head == u, "edge not incident to u");
 
   ++raw_requests_;
-  const VertexId v = graph_->other_endpoint(e, u);
-  if (!explored_edge_[e]) {
+  const VertexId v = ed.tail == u ? ed.head : ed.tail;
+  if (!explored(e)) {
     ++requests_;
-    explored_edge_[e] = true;
-    if (!known_[v]) make_known(v, u);
+    ws_->explored_stamp_[e] = ws_->epoch_;
+    if (!known(v)) make_known(v, u);
   }
   return v;
 }
 
-std::vector<VertexId> LocalView::request_vertex(VertexId u) {
+std::span<const VertexId> LocalView::request_vertex_span(VertexId u) {
   SFS_REQUIRE(model_ == KnowledgeModel::kStrong,
               "request_vertex is a strong-model request");
   SFS_REQUIRE(is_known(u),
               "strong requests must name a vertex whose identity is known");
 
   ++raw_requests_;
-  if (!requested_vertex_[u]) {
+  if (ws_->requested_stamp_[u] != ws_->epoch_) {
     ++requests_;
-    requested_vertex_[u] = true;
-    for (const EdgeId e : graph_->incident(u)) {
-      explored_edge_[e] = true;
-      const VertexId v = graph_->other_endpoint(e, u);
-      if (!known_[v]) make_known(v, u);
+    ws_->requested_stamp_[u] = ws_->epoch_;
+    const auto inc = graph_->incident(u);
+    const auto adj = graph_->adjacent(u);
+    for (std::size_t i = 0; i < inc.size(); ++i) {
+      ws_->explored_stamp_[inc[i]] = ws_->epoch_;
+      const VertexId v = adj[i];
+      if (!known(v)) make_known(v, u);
     }
   }
-  return graph_->neighbors(u);
+  return graph_->adjacent(u);
+}
+
+std::vector<VertexId> LocalView::request_vertex(VertexId u) {
+  const auto adj = request_vertex_span(u);
+  return {adj.begin(), adj.end()};
 }
 
 bool LocalView::vertex_requested(VertexId u) const {
   SFS_REQUIRE(u < graph_->num_vertices(), "vertex out of range");
-  if (model_ == KnowledgeModel::kStrong) return requested_vertex_[u];
-  return known_[u] && !first_unexplored(u).has_value();
+  if (model_ == KnowledgeModel::kStrong) {
+    return ws_->requested_stamp_[u] == ws_->epoch_;
+  }
+  return known(u) && !first_unexplored(u).has_value();
 }
 
-bool LocalView::target_found() const { return known_[target_]; }
+bool LocalView::target_found() const { return known(target_); }
 
 VertexId LocalView::discoverer(VertexId v) const {
   SFS_REQUIRE(v < graph_->num_vertices(), "vertex out of range");
-  return parent_[v];
+  return known(v) ? ws_->parent_[v] : kNoVertex;
 }
 
 std::vector<VertexId> LocalView::discovery_path() const {
   if (!target_found()) return {};
   std::vector<VertexId> path;
-  for (VertexId v = target_; v != kNoVertex; v = parent_[v]) {
+  for (VertexId v = target_; v != kNoVertex; v = ws_->parent_[v]) {
     path.push_back(v);
     SFS_CHECK(path.size() <= graph_->num_vertices(),
               "discovery forest contains a cycle");
@@ -122,9 +167,10 @@ std::vector<VertexId> LocalView::discovery_path() const {
 }
 
 void LocalView::make_known(VertexId v, VertexId via) {
-  known_[v] = true;
-  parent_[v] = via;
-  known_order_.push_back(v);
+  ws_->known_stamp_[v] = ws_->epoch_;
+  ws_->parent_[v] = via;
+  ws_->unexplored_cursor_[v] = 0;
+  ws_->known_order_.push_back(v);
 }
 
 }  // namespace sfs::search

@@ -27,9 +27,17 @@
 // The view also maintains the discovery forest (who revealed whom), from
 // which the found path start -> target is extracted, satisfying the paper's
 // goal of "finding a path to vertex n".
+//
+// Allocation model: all per-search state lives in a SearchWorkspace whose
+// arrays are epoch-stamped, so starting a new search over a same-size graph
+// is O(1) — no clearing, no reallocation. A LocalView either borrows a
+// caller-owned workspace (the Monte-Carlo replication engines reuse one per
+// worker thread across thousands of runs) or lazily owns a private one (the
+// convenient single-run path, identical behavior).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -51,12 +59,52 @@ struct WeakRequest {
   friend bool operator==(const WeakRequest&, const WeakRequest&) = default;
 };
 
+/// Reusable per-search scratch state. The known/explored/requested flags
+/// are stamped with the run epoch instead of being booleans: a slot is
+/// "set" iff its stamp equals the current epoch, so resetting between runs
+/// is a single epoch increment (arrays are only re-zeroed on the ~2^32-run
+/// stamp wraparound, and only grow when a larger graph arrives).
+///
+/// A workspace may be bound to at most one live LocalView at a time; it is
+/// not thread-safe (use one per worker).
+class SearchWorkspace {
+ public:
+  SearchWorkspace() = default;
+
+  SearchWorkspace(const SearchWorkspace&) = delete;
+  SearchWorkspace& operator=(const SearchWorkspace&) = delete;
+  SearchWorkspace(SearchWorkspace&&) = default;
+  SearchWorkspace& operator=(SearchWorkspace&&) = default;
+
+ private:
+  friend class LocalView;
+
+  /// Starts a fresh run over a graph with `n` vertices and `m` edges.
+  void begin_run(std::size_t n, std::size_t m);
+
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> known_stamp_;      // size >= n
+  std::vector<std::uint32_t> explored_stamp_;   // size >= m
+  std::vector<std::uint32_t> requested_stamp_;  // size >= n (strong model)
+  std::vector<std::uint32_t> unexplored_cursor_;  // valid for known vertices
+  std::vector<graph::VertexId> parent_;           // valid for known vertices
+  std::vector<graph::VertexId> known_order_;      // cleared per run
+};
+
 class LocalView {
  public:
-  /// Starts a search over `g` from `start` for `target`. The view holds a
-  /// reference to `g`; the graph must outlive the view.
+  /// Starts a search over `g` from `start` for `target` with a private
+  /// workspace. The view holds a reference to `g`; the graph must outlive
+  /// the view.
   LocalView(const graph::Graph& g, KnowledgeModel model, graph::VertexId start,
             graph::VertexId target);
+
+  /// Same, but reuses the caller's workspace (zero-allocation when the
+  /// workspace has already served a graph at least this large). The
+  /// workspace must outlive the view and must not be shared with another
+  /// live view.
+  LocalView(const graph::Graph& g, KnowledgeModel model, graph::VertexId start,
+            graph::VertexId target, SearchWorkspace& workspace);
 
   [[nodiscard]] KnowledgeModel model() const noexcept { return model_; }
   [[nodiscard]] graph::VertexId start() const noexcept { return start_; }
@@ -76,7 +124,7 @@ class LocalView {
   /// known, in discovery order (the first element is start()).
   [[nodiscard]] std::span<const graph::VertexId> known_vertices()
       const noexcept {
-    return known_order_;
+    return ws_->known_order_;
   }
 
   [[nodiscard]] bool is_known(graph::VertexId v) const;
@@ -123,6 +171,11 @@ class LocalView {
   /// Charged once per vertex.
   std::vector<graph::VertexId> request_vertex(graph::VertexId u);
 
+  /// Allocation-free variant of request_vertex: the returned span aliases
+  /// the graph's CSR neighbor payload and stays valid for the graph's
+  /// lifetime.
+  std::span<const graph::VertexId> request_vertex_span(graph::VertexId u);
+
   /// Whether `u` is "fully opened": in the strong model, already the
   /// subject of a charged request; in the weak model, known with every
   /// incident edge explored (the state a simulated strong request leaves a
@@ -154,19 +207,20 @@ class LocalView {
 
  private:
   void make_known(graph::VertexId v, graph::VertexId via);
-  void mark_explored(graph::EdgeId e);
+  [[nodiscard]] bool known(graph::VertexId v) const noexcept {
+    return ws_->known_stamp_[v] == ws_->epoch_;
+  }
+  [[nodiscard]] bool explored(graph::EdgeId e) const noexcept {
+    return ws_->explored_stamp_[e] == ws_->epoch_;
+  }
 
   const graph::Graph* graph_;
   KnowledgeModel model_;
   graph::VertexId start_;
   graph::VertexId target_;
 
-  std::vector<bool> known_;
-  std::vector<graph::VertexId> known_order_;
-  std::vector<graph::VertexId> parent_;     // discovery forest
-  std::vector<bool> explored_edge_;
-  std::vector<bool> requested_vertex_;      // strong model
-  mutable std::vector<std::uint32_t> unexplored_cursor_;
+  std::unique_ptr<SearchWorkspace> owned_;  // null when borrowing
+  SearchWorkspace* ws_;
 
   std::size_t requests_ = 0;
   std::size_t raw_requests_ = 0;

@@ -18,11 +18,9 @@ std::size_t random_walk_implant(const graph::Graph& g, VertexId from,
   VertexId current = from;
   std::size_t steps = 0;
   for (std::size_t i = 0; i < len; ++i) {
-    const auto inc = g.incident(current);
-    if (inc.empty()) break;
-    const EdgeId e =
-        inc[static_cast<std::size_t>(rng.uniform_index(inc.size()))];
-    current = g.other_endpoint(e, current);
+    const auto adj = g.adjacent(current);
+    if (adj.empty()) break;
+    current = adj[static_cast<std::size_t>(rng.uniform_index(adj.size()))];
     ++steps;
     if (!mark[current]) {
       mark[current] = true;
@@ -72,10 +70,9 @@ PercolationResult percolation_search(const graph::Graph& g, VertexId owner,
   }
   while (head < frontier.size() && !found) {
     const VertexId u = frontier[head++];
-    for (const EdgeId e : g.incident(u)) {
+    for (const VertexId v : g.adjacent(u)) {
       if (!rng.bernoulli(params.edge_prob)) continue;
       ++r.messages;
-      const VertexId v = g.other_endpoint(e, u);
       if (reached[v]) continue;
       reached[v] = true;
       frontier.push_back(v);

@@ -18,12 +18,8 @@ SearchResult finish(const LocalView& view, bool budget_hit, bool gave_up) {
   return r;
 }
 
-}  // namespace
-
-SearchResult run_weak(const graph::Graph& g, graph::VertexId start,
-                      graph::VertexId target, WeakSearcher& searcher,
-                      rng::Rng& rng, const RunBudget& budget) {
-  LocalView view(g, KnowledgeModel::kWeak, start, target);
+SearchResult drive_weak(LocalView& view, WeakSearcher& searcher, rng::Rng& rng,
+                        const RunBudget& budget) {
   searcher.start(view, rng);
   while (!view.target_found()) {
     if (view.requests() >= budget.max_requests ||
@@ -38,10 +34,8 @@ SearchResult run_weak(const graph::Graph& g, graph::VertexId start,
   return finish(view, false, false);
 }
 
-SearchResult run_strong(const graph::Graph& g, graph::VertexId start,
-                        graph::VertexId target, StrongSearcher& searcher,
-                        rng::Rng& rng, const RunBudget& budget) {
-  LocalView view(g, KnowledgeModel::kStrong, start, target);
+SearchResult drive_strong(LocalView& view, StrongSearcher& searcher,
+                          rng::Rng& rng, const RunBudget& budget) {
   searcher.start(view, rng);
   while (!view.target_found()) {
     if (view.requests() >= budget.max_requests ||
@@ -50,11 +44,42 @@ SearchResult run_strong(const graph::Graph& g, graph::VertexId start,
     }
     const auto req = searcher.next(view, rng);
     if (!req) return finish(view, false, true);
-    const auto neighbors = view.request_vertex(*req);
-    searcher.observe(view, *req,
-                     std::span<const graph::VertexId>(neighbors));
+    const auto neighbors = view.request_vertex_span(*req);
+    searcher.observe(view, *req, neighbors);
   }
   return finish(view, false, false);
+}
+
+}  // namespace
+
+SearchResult run_weak(const graph::Graph& g, graph::VertexId start,
+                      graph::VertexId target, WeakSearcher& searcher,
+                      rng::Rng& rng, const RunBudget& budget) {
+  LocalView view(g, KnowledgeModel::kWeak, start, target);
+  return drive_weak(view, searcher, rng, budget);
+}
+
+SearchResult run_strong(const graph::Graph& g, graph::VertexId start,
+                        graph::VertexId target, StrongSearcher& searcher,
+                        rng::Rng& rng, const RunBudget& budget) {
+  LocalView view(g, KnowledgeModel::kStrong, start, target);
+  return drive_strong(view, searcher, rng, budget);
+}
+
+SearchResult run_weak(const graph::Graph& g, graph::VertexId start,
+                      graph::VertexId target, WeakSearcher& searcher,
+                      rng::Rng& rng, const RunBudget& budget,
+                      SearchWorkspace& workspace) {
+  LocalView view(g, KnowledgeModel::kWeak, start, target, workspace);
+  return drive_weak(view, searcher, rng, budget);
+}
+
+SearchResult run_strong(const graph::Graph& g, graph::VertexId start,
+                        graph::VertexId target, StrongSearcher& searcher,
+                        rng::Rng& rng, const RunBudget& budget,
+                        SearchWorkspace& workspace) {
+  LocalView view(g, KnowledgeModel::kStrong, start, target, workspace);
+  return drive_strong(view, searcher, rng, budget);
 }
 
 }  // namespace sfs::search

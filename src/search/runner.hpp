@@ -48,4 +48,21 @@ struct SearchResult {
                                       StrongSearcher& searcher, rng::Rng& rng,
                                       const RunBudget& budget = {});
 
+/// Workspace-reusing variants: identical results to the overloads above,
+/// but all per-search state lives in `workspace`, so back-to-back runs on
+/// same-size graphs allocate nothing. One workspace per worker thread.
+[[nodiscard]] SearchResult run_weak(const graph::Graph& g,
+                                    graph::VertexId start,
+                                    graph::VertexId target,
+                                    WeakSearcher& searcher, rng::Rng& rng,
+                                    const RunBudget& budget,
+                                    SearchWorkspace& workspace);
+
+[[nodiscard]] SearchResult run_strong(const graph::Graph& g,
+                                      graph::VertexId start,
+                                      graph::VertexId target,
+                                      StrongSearcher& searcher, rng::Rng& rng,
+                                      const RunBudget& budget,
+                                      SearchWorkspace& workspace);
+
 }  // namespace sfs::search

@@ -1,0 +1,174 @@
+#include "sim/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "base/check.hpp"
+
+namespace sfs::sim {
+
+namespace {
+
+/// True while the current thread is executing a pool task; nested
+/// parallel_for calls detect this and run inline.
+thread_local bool t_inside_pool_task = false;
+
+}  // namespace
+
+std::size_t default_worker_count() {
+  if (const char* env = std::getenv("SFS_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+struct ThreadPool::Impl {
+  std::size_t workers = 1;          // total, including the calling thread
+  std::vector<std::thread> threads;  // workers - 1 background threads
+
+  std::mutex mu;
+  std::condition_variable job_cv;   // background workers wait for a job
+  std::condition_variable done_cv;  // the caller waits for quiescence
+  std::uint64_t generation = 0;
+  bool stop = false;
+
+  // Current job (written by the caller under mu before bumping generation;
+  // read-only for workers until the job completes).
+  const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+  std::size_t count = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> cancelled{false};
+  std::size_t active = 0;  // background workers still inside the job
+  std::exception_ptr error;
+
+  std::mutex call_mu;  // serializes concurrent external parallel_for calls
+
+  /// Claims tasks off the shared counter until the job is drained.
+  void run_tasks(std::size_t worker) {
+    const bool was_inside = t_inside_pool_task;
+    t_inside_pool_task = true;
+    for (;;) {
+      const std::size_t task = next.fetch_add(1, std::memory_order_relaxed);
+      if (task >= count) break;
+      if (cancelled.load(std::memory_order_relaxed)) continue;  // drain
+      try {
+        (*fn)(task, worker);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(mu);
+        if (!error) error = std::current_exception();
+        cancelled.store(true, std::memory_order_relaxed);
+      }
+    }
+    t_inside_pool_task = was_inside;
+  }
+
+  void worker_loop(std::size_t worker) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        job_cv.wait(lk, [&] { return stop || generation != seen; });
+        if (stop) return;
+        seen = generation;
+      }
+      run_tasks(worker);
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        if (--active == 0) done_cv.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t workers) : impl_(new Impl) {
+  impl_->workers = workers == 0 ? default_worker_count() : workers;
+  impl_->threads.reserve(impl_->workers - 1);
+  for (std::size_t w = 1; w < impl_->workers; ++w) {
+    impl_->threads.emplace_back([this, w] { impl_->worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->job_cv.notify_all();
+  for (auto& t : impl_->threads) t.join();
+  delete impl_;
+}
+
+std::size_t ThreadPool::worker_count() const noexcept {
+  return impl_->workers;
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (count == 0) return;
+  // Nested fan-out (a pool task that itself replicates) runs inline on the
+  // current thread: its sub-tasks all see worker index 0 of the nested
+  // call, which is safe because the nested call's scratch state is local
+  // to this thread's call frame.
+  if (t_inside_pool_task || impl_->workers == 1) {
+    for (std::size_t task = 0; task < count; ++task) fn(task, 0);
+    return;
+  }
+
+  std::lock_guard<std::mutex> call_lock(impl_->call_mu);
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->fn = &fn;
+    impl_->count = count;
+    impl_->next.store(0, std::memory_order_relaxed);
+    impl_->cancelled.store(false, std::memory_order_relaxed);
+    impl_->active = impl_->threads.size();
+    impl_->error = nullptr;
+    ++impl_->generation;
+  }
+  impl_->job_cv.notify_all();
+
+  impl_->run_tasks(0);  // the caller is worker 0
+
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lk(impl_->mu);
+    impl_->done_cv.wait(lk, [&] { return impl_->active == 0; });
+    err = impl_->error;
+    impl_->error = nullptr;
+    impl_->fn = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+ThreadPool& shared_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t count, std::size_t threads,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  // Nested calls run inline anyway — don't spawn a pool whose threads
+  // would never execute a task.
+  if (threads == 1 || t_inside_pool_task) {
+    for (std::size_t task = 0; task < count; ++task) fn(task, 0);
+    return;
+  }
+  if (threads == 0) {
+    shared_pool().parallel_for(count, fn);
+    return;
+  }
+  ThreadPool pool(threads);
+  pool.parallel_for(count, fn);
+}
+
+}  // namespace sfs::sim

@@ -4,6 +4,7 @@
 
 #include "base/check.hpp"
 #include "rng/random.hpp"
+#include "sim/parallel.hpp"
 
 namespace sfs::sim {
 
@@ -24,22 +25,32 @@ std::vector<double> ScalingSeries::sizes() const {
 ScalingSeries measure_scaling(
     const std::vector<std::size_t>& sizes, std::size_t reps,
     std::uint64_t seed,
-    const std::function<double(std::size_t, std::uint64_t)>& measure) {
+    const std::function<double(std::size_t, std::uint64_t)>& measure,
+    std::size_t threads) {
   SFS_REQUIRE(!sizes.empty(), "empty size sweep");
   SFS_REQUIRE(reps >= 1, "need at least one replication");
   ScalingSeries series;
-  series.points.reserve(sizes.size());
+  series.points.resize(sizes.size());
   for (std::size_t i = 0; i < sizes.size(); ++i) {
-    ScalingPoint point;
-    point.n = sizes[i];
-    point.raw.reserve(reps);
-    const std::uint64_t point_seed = rng::mix64(seed ^ (0x9e37 + i));
-    for (std::size_t r = 0; r < reps; ++r) {
-      point.raw.push_back(
-          measure(sizes[i], rng::derive_seed(point_seed, r)));
-    }
+    series.points[i].n = sizes[i];
+    series.points[i].raw.resize(reps);
+  }
+  // Fan the whole size x replication grid out at once: sizes near the top
+  // of the sweep dominate the cost, so scheduling the grid dynamically
+  // keeps workers busy across size boundaries. Each cell's seed depends
+  // only on (i, r), and each cell writes its own slot, so the series is
+  // identical for any thread count.
+  parallel_for(sizes.size() * reps, threads,
+               [&](std::size_t task, std::size_t) {
+                 const std::size_t i = task / reps;
+                 const std::size_t r = task % reps;
+                 const std::uint64_t point_seed =
+                     rng::mix64(seed ^ (0x9e37 + i));
+                 series.points[i].raw[r] =
+                     measure(sizes[i], rng::derive_seed(point_seed, r));
+               });
+  for (auto& point : series.points) {
     point.summary = stats::summarize(point.raw);
-    series.points.push_back(std::move(point));
   }
 
   // Fit over points with positive means.

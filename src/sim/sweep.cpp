@@ -4,6 +4,7 @@
 
 #include "base/check.hpp"
 #include "rng/random.hpp"
+#include "sim/parallel.hpp"
 
 namespace sfs::sim {
 
@@ -11,45 +12,80 @@ using graph::VertexId;
 
 namespace {
 
+std::size_t resolve_workers(std::size_t threads) {
+  return threads == 0 ? shared_pool().worker_count() : threads;
+}
+
 template <typename Portfolio, typename RunOne>
 PortfolioCost measure_portfolio(const GraphFactory& factory,
                                 const EndpointSelector& endpoints,
                                 std::size_t reps, std::uint64_t seed,
                                 const Portfolio& portfolio_factory,
-                                const RunOne& run_one) {
+                                const RunOne& run_one, std::size_t threads) {
   SFS_REQUIRE(reps >= 1, "need at least one replication");
   auto probe = portfolio_factory();
-  PortfolioCost out;
-  out.policies.resize(probe.size());
-  std::vector<stats::Accumulator> req_acc(probe.size());
-  std::vector<stats::Accumulator> raw_acc(probe.size());
-  std::vector<std::size_t> found(probe.size(), 0);
-  std::vector<std::vector<double>> req_raws(probe.size());
+  const std::size_t num_policies = probe.size();
 
-  for (std::size_t rep = 0; rep < reps; ++rep) {
+  // Replication results land in slots indexed by (rep, policy); the fold
+  // below walks them in replication order, so the summaries are
+  // bit-identical to a sequential loop for any worker count.
+  std::vector<std::vector<search::SearchResult>> results(reps);
+
+  // Per-worker reusable state: one search workspace (O(1) reset between
+  // runs) and one portfolio instance (policies fully reset in start()).
+  struct WorkerState {
+    decltype(portfolio_factory()) policies;
+    search::SearchWorkspace workspace;
+    bool initialized = false;
+  };
+  std::vector<WorkerState> workers(resolve_workers(threads));
+
+  parallel_for(reps, threads, [&](std::size_t rep, std::size_t worker) {
+    WorkerState& st = workers[worker];
+    if (!st.initialized) {
+      st.policies = portfolio_factory();
+      st.initialized = true;
+    }
     // One graph per replication, shared by all policies (paired design).
-    rng::Rng graph_rng(rng::derive_seed(seed, rep));
+    // Stream tags: 0 = graph, 0xabcdef = endpoints, 0x5ea7c4+i = policy i.
+    rng::Rng graph_rng(rng::derive_stream_seed(seed, 0, rep));
     const graph::Graph g = factory(graph_rng);
-    rng::Rng endpoint_rng(rng::derive_seed(seed ^ 0xabcdef, rep));
+    rng::Rng endpoint_rng(rng::derive_stream_seed(seed, 0xabcdef, rep));
     const auto [start, target] = endpoints(g, endpoint_rng);
 
-    auto portfolio = portfolio_factory();
-    for (std::size_t i = 0; i < portfolio.size(); ++i) {
-      rng::Rng search_rng(rng::derive_seed(seed ^ (0x5ea7c4 + i), rep));
-      const search::SearchResult r =
-          run_one(g, start, target, *portfolio[i], search_rng);
+    auto& row = results[rep];
+    row.resize(num_policies);
+    for (std::size_t i = 0; i < num_policies; ++i) {
+      rng::Rng search_rng(rng::derive_stream_seed(seed, 0x5ea7c4 + i, rep));
+      row[i] = run_one(g, start, target, *st.policies[i], search_rng,
+                       st.workspace);
+    }
+  });
+
+  // Sequential fold in replication order.
+  PortfolioCost out;
+  out.policies.resize(num_policies);
+  std::vector<stats::Accumulator> req_acc(num_policies);
+  std::vector<stats::Accumulator> raw_acc(num_policies);
+  std::vector<std::size_t> found(num_policies, 0);
+  std::vector<std::vector<double>> req_values(num_policies);
+  for (auto& v : req_values) v.reserve(reps);
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    for (std::size_t i = 0; i < num_policies; ++i) {
+      const search::SearchResult& r = results[rep][i];
       req_acc[i].add(static_cast<double>(r.requests));
       raw_acc[i].add(static_cast<double>(r.raw_requests));
-      req_raws[i].push_back(static_cast<double>(r.requests));
+      req_values[i].push_back(static_cast<double>(r.requests));
       if (r.found) ++found[i];
     }
   }
 
-  auto portfolio = portfolio_factory();
-  for (std::size_t i = 0; i < portfolio.size(); ++i) {
-    out.policies[i].name = portfolio[i]->name();
+  for (std::size_t i = 0; i < num_policies; ++i) {
+    out.policies[i].name = probe[i]->name();
     out.policies[i].requests = req_acc[i].summary();
     out.policies[i].raw_requests = raw_acc[i].summary();
+    out.policies[i].median_requests = stats::median(req_values[i]);
+    out.policies[i].p90_requests = stats::quantile(req_values[i], 0.9);
     out.policies[i].found_fraction =
         static_cast<double>(found[i]) / static_cast<double>(reps);
   }
@@ -75,25 +111,31 @@ PortfolioCost measure_portfolio(const GraphFactory& factory,
 PortfolioCost measure_weak_portfolio(const GraphFactory& factory,
                                      const EndpointSelector& endpoints,
                                      std::size_t reps, std::uint64_t seed,
-                                     const search::RunBudget& budget) {
+                                     const search::RunBudget& budget,
+                                     std::size_t threads) {
   return measure_portfolio(
       factory, endpoints, reps, seed, &search::weak_portfolio,
       [&](const graph::Graph& g, VertexId s, VertexId t,
-          search::WeakSearcher& policy, rng::Rng& rng) {
-        return search::run_weak(g, s, t, policy, rng, budget);
-      });
+          search::WeakSearcher& policy, rng::Rng& rng,
+          search::SearchWorkspace& ws) {
+        return search::run_weak(g, s, t, policy, rng, budget, ws);
+      },
+      threads);
 }
 
 PortfolioCost measure_strong_portfolio(const GraphFactory& factory,
                                        const EndpointSelector& endpoints,
                                        std::size_t reps, std::uint64_t seed,
-                                       const search::RunBudget& budget) {
+                                       const search::RunBudget& budget,
+                                       std::size_t threads) {
   return measure_portfolio(
       factory, endpoints, reps, seed, &search::strong_portfolio,
       [&](const graph::Graph& g, VertexId s, VertexId t,
-          search::StrongSearcher& policy, rng::Rng& rng) {
-        return search::run_strong(g, s, t, policy, rng, budget);
-      });
+          search::StrongSearcher& policy, rng::Rng& rng,
+          search::SearchWorkspace& ws) {
+        return search::run_strong(g, s, t, policy, rng, budget, ws);
+      },
+      threads);
 }
 
 EndpointSelector oldest_to_newest() {

@@ -2,6 +2,11 @@
 // freshly generated graphs and summarize the charged-request cost per
 // policy. The minimum over the portfolio is the empirical stand-in for
 // "any algorithm" in the lower-bound experiments.
+//
+// Replications are fanned out over the deterministic parallel executor
+// (sim/parallel.hpp). Because every replication derives its own seeds from
+// (seed, rep) and results are folded in replication order, the summaries
+// are bit-identical for any thread count, including 1.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +36,8 @@ struct PolicyCost {
   std::string name;
   stats::Summary requests;       // charged requests
   stats::Summary raw_requests;   // incl. repeats (walks)
+  double median_requests = 0.0;  // median charged requests over reps
+  double p90_requests = 0.0;     // 90th percentile charged requests
   double found_fraction = 0.0;   // replications that reached the target
 };
 
@@ -47,17 +54,20 @@ struct PortfolioCost {
 
 /// Measures the full weak portfolio (weak_portfolio()) on `reps` fresh
 /// graphs. Every policy sees the same sequence of graphs (same graph seeds)
-/// so the comparison is paired.
+/// so the comparison is paired. `threads` selects the replication fan-out:
+/// 0 = the shared pool (default worker count), 1 = sequential, n = a pool
+/// of n workers; the result is bit-identical in all cases. The factory and
+/// endpoint selector must be safe to call concurrently.
 [[nodiscard]] PortfolioCost measure_weak_portfolio(
     const GraphFactory& factory, const EndpointSelector& endpoints,
     std::size_t reps, std::uint64_t seed,
-    const search::RunBudget& budget = {});
+    const search::RunBudget& budget = {}, std::size_t threads = 0);
 
 /// Same for the strong portfolio (strong_portfolio()).
 [[nodiscard]] PortfolioCost measure_strong_portfolio(
     const GraphFactory& factory, const EndpointSelector& endpoints,
     std::size_t reps, std::uint64_t seed,
-    const search::RunBudget& budget = {});
+    const search::RunBudget& budget = {}, std::size_t threads = 0);
 
 /// Selector: start at vertex 0 (the paper's oldest vertex), target the last
 /// vertex (the paper's vertex n).

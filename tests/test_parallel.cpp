@@ -1,0 +1,324 @@
+// Tests for the deterministic parallel replication engine and the
+// zero-allocation search workspace: parallel results must be bit-identical
+// to sequential, and workspace-reusing runs must match fresh-LocalView
+// runs request-for-request.
+#include "sim/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "gen/mori.hpp"
+#include "graph/builder.hpp"
+#include "search/runner.hpp"
+#include "search/strong_algorithms.hpp"
+#include "search/weak_algorithms.hpp"
+#include "sim/scaling.hpp"
+#include "sim/sweep.hpp"
+
+namespace {
+
+using sfs::graph::Graph;
+using sfs::graph::GraphBuilder;
+using sfs::graph::VertexId;
+using sfs::search::KnowledgeModel;
+using sfs::search::LocalView;
+using sfs::search::SearchResult;
+using sfs::search::SearchWorkspace;
+using sfs::sim::measure_weak_portfolio;
+using sfs::sim::oldest_to_newest;
+using sfs::sim::PortfolioCost;
+
+sfs::sim::GraphFactory mori_factory(std::size_t n, double p) {
+  return [n, p](sfs::rng::Rng& rng) {
+    return sfs::gen::mori_tree(n, sfs::gen::MoriParams{p}, rng);
+  };
+}
+
+// ------------------------------------------------------------ thread pool
+
+TEST(ThreadPool, CoversEveryTaskExactlyOnce) {
+  sfs::sim::ThreadPool pool(4);
+  EXPECT_EQ(pool.worker_count(), 4u);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(), [&](std::size_t task, std::size_t worker) {
+    EXPECT_LT(worker, 4u);
+    hits[task].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline) {
+  sfs::sim::ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  pool.parallel_for(8, [&](std::size_t task, std::size_t worker) {
+    EXPECT_EQ(worker, 0u);
+    order.push_back(task);  // safe: no threads with 1 worker
+  });
+  std::vector<std::size_t> expected(8);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+  sfs::sim::ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [](std::size_t task, std::size_t) {
+                          if (task == 13) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // Pool must stay usable after a failed job.
+  std::atomic<int> ran{0};
+  pool.parallel_for(16, [&](std::size_t, std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  sfs::sim::ThreadPool pool(4);
+  std::vector<std::atomic<int>> inner_hits(16);
+  pool.parallel_for(4, [&](std::size_t outer, std::size_t) {
+    pool.parallel_for(4, [&](std::size_t inner, std::size_t worker) {
+      EXPECT_EQ(worker, 0u);  // nested tasks run inline on one thread
+      inner_hits[outer * 4 + inner].fetch_add(1);
+    });
+  });
+  for (const auto& h : inner_hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  sfs::sim::ThreadPool pool(3);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> sum{0};
+    pool.parallel_for(
+        100, [&](std::size_t task, std::size_t) {
+          sum.fetch_add(static_cast<int>(task));
+        });
+    EXPECT_EQ(sum.load(), 4950);
+  }
+}
+
+// --------------------------------------------- parallel == sequential
+
+void expect_identical(const PortfolioCost& a, const PortfolioCost& b) {
+  ASSERT_EQ(a.policies.size(), b.policies.size());
+  EXPECT_EQ(a.best, b.best);
+  for (std::size_t i = 0; i < a.policies.size(); ++i) {
+    const auto& pa = a.policies[i];
+    const auto& pb = b.policies[i];
+    EXPECT_EQ(pa.name, pb.name);
+    // Bit-identical, not approximately equal: the fold order is fixed.
+    EXPECT_EQ(pa.requests.mean, pb.requests.mean) << pa.name;
+    EXPECT_EQ(pa.requests.stddev, pb.requests.stddev) << pa.name;
+    EXPECT_EQ(pa.requests.min, pb.requests.min) << pa.name;
+    EXPECT_EQ(pa.requests.max, pb.requests.max) << pa.name;
+    EXPECT_EQ(pa.raw_requests.mean, pb.raw_requests.mean) << pa.name;
+    EXPECT_EQ(pa.raw_requests.stddev, pb.raw_requests.stddev) << pa.name;
+    EXPECT_EQ(pa.median_requests, pb.median_requests) << pa.name;
+    EXPECT_EQ(pa.p90_requests, pb.p90_requests) << pa.name;
+    EXPECT_EQ(pa.found_fraction, pb.found_fraction) << pa.name;
+  }
+}
+
+TEST(ParallelPortfolio, WeakBitIdenticalToSequential) {
+  const auto budget = sfs::search::RunBudget{.max_raw_requests = 500000};
+  const auto seq = measure_weak_portfolio(mori_factory(150, 0.5),
+                                          oldest_to_newest(), 6, 42, budget,
+                                          /*threads=*/1);
+  const auto par = measure_weak_portfolio(mori_factory(150, 0.5),
+                                          oldest_to_newest(), 6, 42, budget,
+                                          /*threads=*/4);
+  expect_identical(seq, par);
+}
+
+TEST(ParallelPortfolio, StrongBitIdenticalToSequential) {
+  const auto seq = sfs::sim::measure_strong_portfolio(
+      mori_factory(150, 0.4), oldest_to_newest(), 6, 7, {}, /*threads=*/1);
+  const auto par = sfs::sim::measure_strong_portfolio(
+      mori_factory(150, 0.4), oldest_to_newest(), 6, 7, {}, /*threads=*/3);
+  expect_identical(seq, par);
+}
+
+TEST(ParallelPortfolio, MedianAndP90AreOrdered) {
+  const auto cost = measure_weak_portfolio(
+      mori_factory(120, 0.5), oldest_to_newest(), 9, 5,
+      sfs::search::RunBudget{.max_raw_requests = 500000});
+  for (const auto& p : cost.policies) {
+    EXPECT_LE(p.requests.min, p.median_requests) << p.name;
+    EXPECT_LE(p.median_requests, p.p90_requests) << p.name;
+    EXPECT_LE(p.p90_requests, p.requests.max) << p.name;
+  }
+}
+
+TEST(ParallelScaling, BitIdenticalToSequential) {
+  const std::vector<std::size_t> sizes{30, 60, 120};
+  const auto measure = [](std::size_t n, std::uint64_t seed) {
+    sfs::rng::Rng rng(seed);
+    const Graph g = sfs::gen::mori_tree(n, sfs::gen::MoriParams{0.5}, rng);
+    sfs::search::BfsWeak bfs;
+    sfs::rng::Rng search_rng(seed ^ 1);
+    return static_cast<double>(
+        sfs::search::run_weak(g, 0, static_cast<VertexId>(n - 1), bfs,
+                              search_rng)
+            .requests);
+  };
+  const auto seq =
+      sfs::sim::measure_scaling(sizes, 5, 99, measure, /*threads=*/1);
+  const auto par =
+      sfs::sim::measure_scaling(sizes, 5, 99, measure, /*threads=*/4);
+  ASSERT_EQ(seq.points.size(), par.points.size());
+  for (std::size_t i = 0; i < seq.points.size(); ++i) {
+    EXPECT_EQ(seq.points[i].raw, par.points[i].raw);
+    EXPECT_EQ(seq.points[i].summary.mean, par.points[i].summary.mean);
+  }
+  EXPECT_EQ(seq.fit.slope, par.fit.slope);
+}
+
+// --------------------------------------- workspace reuse == fresh view
+
+void expect_same_result(const SearchResult& a, const SearchResult& b) {
+  EXPECT_EQ(a.found, b.found);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.raw_requests, b.raw_requests);
+  EXPECT_EQ(a.path_length, b.path_length);
+  EXPECT_EQ(a.budget_exhausted, b.budget_exhausted);
+  EXPECT_EQ(a.gave_up, b.gave_up);
+}
+
+TEST(SearchWorkspace, WeakReuseMatchesFreshRunForRun) {
+  SearchWorkspace ws;
+  // Sequence of graphs of varying size, including shrinking ones: the
+  // workspace must give identical results to a fresh view every time.
+  for (const std::size_t n : {200, 50, 400, 400, 30}) {
+    for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+      sfs::rng::Rng g_rng(seed);
+      const Graph g =
+          sfs::gen::mori_tree(n, sfs::gen::MoriParams{0.5}, g_rng);
+      const auto portfolio = sfs::search::weak_portfolio();
+      for (std::size_t i = 0; i < portfolio.size(); ++i) {
+        const auto budget =
+            sfs::search::RunBudget{.max_raw_requests = 100000};
+        sfs::rng::Rng r1(seed ^ (i + 17));
+        sfs::rng::Rng r2(seed ^ (i + 17));
+        const auto fresh_portfolio = sfs::search::weak_portfolio();
+        const SearchResult fresh = sfs::search::run_weak(
+            g, 0, static_cast<VertexId>(n - 1), *fresh_portfolio[i], r1,
+            budget);
+        const SearchResult reused = sfs::search::run_weak(
+            g, 0, static_cast<VertexId>(n - 1), *portfolio[i], r2, budget,
+            ws);
+        expect_same_result(fresh, reused);
+      }
+    }
+  }
+}
+
+TEST(SearchWorkspace, StrongReuseMatchesFresh) {
+  SearchWorkspace ws;
+  for (const std::size_t n : {150, 60, 300}) {
+    sfs::rng::Rng g_rng(n);
+    const Graph g = sfs::gen::mori_tree(n, sfs::gen::MoriParams{0.4}, g_rng);
+    const auto portfolio = sfs::search::strong_portfolio();
+    for (std::size_t i = 0; i < portfolio.size(); ++i) {
+      sfs::rng::Rng r1(i + 3);
+      sfs::rng::Rng r2(i + 3);
+      const auto fresh_portfolio = sfs::search::strong_portfolio();
+      const SearchResult fresh = sfs::search::run_strong(
+          g, 0, static_cast<VertexId>(n - 1), *fresh_portfolio[i], r1);
+      const SearchResult reused = sfs::search::run_strong(
+          g, 0, static_cast<VertexId>(n - 1), *portfolio[i], r2, {}, ws);
+      expect_same_result(fresh, reused);
+    }
+  }
+}
+
+TEST(SearchWorkspace, EpochResetClearsKnowledge) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  const Graph g = b.build();
+  SearchWorkspace ws;
+  {
+    LocalView view(g, KnowledgeModel::kWeak, 0, 3, ws);
+    (void)view.request_edge(0, 0);
+    (void)view.request_edge(1, 1);
+  }
+  // Same workspace, new run: nothing from the previous run may leak.
+  LocalView view(g, KnowledgeModel::kWeak, 0, 3, ws);
+  EXPECT_TRUE(view.is_known(0));
+  EXPECT_FALSE(view.is_known(1));
+  EXPECT_FALSE(view.edge_explored(0));
+  EXPECT_EQ(view.requests(), 0u);
+  EXPECT_EQ(view.known_vertices().size(), 1u);
+
+  LocalView second(g, KnowledgeModel::kStrong, 1, 3, ws);
+  EXPECT_TRUE(second.is_known(1));
+  EXPECT_FALSE(second.is_known(0));
+  EXPECT_FALSE(second.vertex_requested(1));
+}
+
+TEST(SearchWorkspace, PortfolioMeasurementMatchesAcrossThreadCounts) {
+  // End-to-end: 1, 2 and 5 threads over a non-trivial replication count.
+  const auto budget = sfs::search::RunBudget{.max_raw_requests = 200000};
+  const auto t1 = measure_weak_portfolio(mori_factory(100, 0.6),
+                                         oldest_to_newest(), 10, 11, budget,
+                                         /*threads=*/1);
+  const auto t2 = measure_weak_portfolio(mori_factory(100, 0.6),
+                                         oldest_to_newest(), 10, 11, budget,
+                                         /*threads=*/2);
+  const auto t5 = measure_weak_portfolio(mori_factory(100, 0.6),
+                                         oldest_to_newest(), 10, 11, budget,
+                                         /*threads=*/5);
+  expect_identical(t1, t2);
+  expect_identical(t1, t5);
+}
+
+// ------------------------------------------------- seed derivation
+
+TEST(DeriveStreamSeed, StreamZeroMatchesDeriveSeed) {
+  // The graph stream must reproduce the historical per-rep seeds, or every
+  // recorded experiment table would silently change.
+  for (std::uint64_t rep = 0; rep < 20; ++rep) {
+    EXPECT_EQ(sfs::rng::derive_stream_seed(123, 0, rep),
+              sfs::rng::derive_seed(123, rep));
+    EXPECT_EQ(sfs::rng::derive_stream_seed(123, 0xabcdef, rep),
+              sfs::rng::derive_seed(123 ^ 0xabcdef, rep));
+  }
+}
+
+TEST(DeriveStreamSeed, StreamsAreDistinct) {
+  EXPECT_NE(sfs::rng::derive_stream_seed(5, 1, 0),
+            sfs::rng::derive_stream_seed(5, 2, 0));
+  EXPECT_NE(sfs::rng::derive_stream_seed(5, 1, 0),
+            sfs::rng::derive_stream_seed(5, 1, 1));
+}
+
+// ---------------------------------------------------- graph fast path
+
+TEST(GraphAdjacent, AlignedWithIncidence) {
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 2);  // self-loop
+  b.add_edge(0, 1);  // parallel edge
+  b.add_edge(4, 0);
+  const Graph g = b.build();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto inc = g.incident(v);
+    const auto adj = g.adjacent(v);
+    ASSERT_EQ(inc.size(), adj.size());
+    for (std::size_t i = 0; i < inc.size(); ++i) {
+      EXPECT_EQ(adj[i], g.other_endpoint(inc[i], v))
+          << "vertex " << v << " slot " << i;
+    }
+  }
+  // Self-loop contributes the vertex itself twice.
+  const auto loop_adj = g.adjacent(2);
+  EXPECT_EQ(std::count(loop_adj.begin(), loop_adj.end(), 2u), 2);
+}
+
+}  // namespace
