@@ -21,15 +21,15 @@ void ablate(const std::string& title, const sfs::sim::GraphFactory& factory,
             const sfs::sim::EndpointSelector& endpoints, std::size_t n) {
   const auto cost = sfs::sim::measure_weak_portfolio(
       factory, endpoints, 8, 0xA1,
-      sfs::search::RunBudget{.max_raw_requests = 40 * n});
-  sfs::sim::Table t(title, {"policy", "mean requests", "median-ish (min)",
-                            "max", "found frac"});
+      sfs::search::RunBudget{.max_raw_requests = 40 * n}, /*threads=*/0);
+  sfs::sim::Table t(title, {"policy", "mean requests", "median", "p90",
+                            "found frac"});
   for (const auto& pol : cost.policies) {
     t.row()
         .cell(pol.name)
         .num(pol.requests.mean, 1)
-        .num(pol.requests.min, 1)
-        .num(pol.requests.max, 1)
+        .num(pol.median_requests, 1)
+        .num(pol.p90_requests, 1)
         .num(pol.found_fraction, 2);
   }
   t.print(std::cout);

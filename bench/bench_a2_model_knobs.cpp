@@ -37,7 +37,8 @@ double fitted_exponent(const std::function<sfs::sim::GraphFactory(
       {1024, 2048, 4096, 8192}, 5, seed,
       [&](std::size_t n, std::uint64_t s) {
         return best_cost(factory_at(n), n, s);
-      });
+      },
+      /*threads=*/0);
   return series.fit.slope;
 }
 

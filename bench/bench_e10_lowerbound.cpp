@@ -35,7 +35,7 @@ int main() {
           return sfs::gen::mori_tree(n, sfs::gen::MoriParams{p}, rng);
         },
         sfs::sim::oldest_to_newest(), 8, 0x10E,
-        sfs::search::RunBudget{.max_raw_requests = 40 * n});
+        sfs::search::RunBudget{.max_raw_requests = 40 * n}, /*threads=*/0);
     const double measured = cost.best_policy().requests.mean;
     t.row()
         .integer(n)

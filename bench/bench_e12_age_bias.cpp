@@ -32,7 +32,7 @@ void report(const std::string& model, const sfs::sim::GraphFactory& factory,
         };
     const auto cost = sfs::sim::measure_weak_portfolio(
         factory, from_two, 8, 0xE12,
-        sfs::search::RunBudget{.max_raw_requests = 40 * n});
+        sfs::search::RunBudget{.max_raw_requests = 40 * n}, /*threads=*/0);
     double greedy = 0.0;
     double bfs = 0.0;
     for (const auto& pol : cost.policies) {

@@ -38,7 +38,8 @@ void run_config(double p, std::size_t m) {
       sizes, reps, 0xE1,
       [&](std::size_t n, std::uint64_t seed) {
         return portfolio_best(n, seed).best_policy().requests.mean;
-      });
+      },
+      /*threads=*/0);
   sfs::bench::print_scaling(
       "E1: weak-model requests to find vertex n, Mori p=" +
           sfs::sim::format_double(p, 2) + " m=" + std::to_string(m),
@@ -52,7 +53,8 @@ void run_config(double p, std::size_t m) {
                                            sfs::gen::MoriParams{p}, rng);
       },
       sfs::sim::oldest_to_newest(), reps, 0x1E1,
-      sfs::search::RunBudget{.max_raw_requests = 40 * sizes.back()});
+      sfs::search::RunBudget{.max_raw_requests = 40 * sizes.back()},
+      /*threads=*/0);
   sfs::sim::Table t(
       "E1 detail: per-policy cost at n=" + std::to_string(sizes.back()) +
           " (p=" + sfs::sim::format_double(p, 2) + ", m=" +

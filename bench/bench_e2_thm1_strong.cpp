@@ -29,7 +29,8 @@ void run_p(double p) {
             },
             sfs::sim::oldest_to_newest(), 1, seed);
         return cost.best_policy().requests.mean;
-      });
+      },
+      /*threads=*/0);
   sfs::bench::print_scaling(
       "E2: strong-model requests to find vertex n, Mori p=" +
           sfs::sim::format_double(p, 2),
@@ -42,7 +43,8 @@ void run_p(double p) {
         return sfs::gen::mori_tree(sizes.back(), sfs::gen::MoriParams{p},
                                    rng);
       },
-      sfs::sim::oldest_to_newest(), reps, 0x2E2);
+      sfs::sim::oldest_to_newest(), reps, 0x2E2,
+      sfs::search::RunBudget{}, /*threads=*/0);
   sfs::sim::Table t("E2 detail: per-policy cost at n=" +
                         std::to_string(sizes.back()) + " (p=" +
                         sfs::sim::format_double(p, 2) + ")",

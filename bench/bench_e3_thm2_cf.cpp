@@ -75,7 +75,8 @@ int main() {
               sfs::sim::oldest_to_newest(), 1, seed,
               sfs::search::RunBudget{.max_raw_requests = 40 * n});
           return cost.best_policy().requests.mean;
-        });
+        },
+        /*threads=*/0);
     sfs::bench::print_scaling("E3: weak-model requests, Cooper-Frieze " +
                                   preset.name,
                               series, "best requests",

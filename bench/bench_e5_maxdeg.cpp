@@ -24,7 +24,8 @@ int main() {
               sfs::gen::mori_tree(n, sfs::gen::MoriParams{p}, rng);
           return static_cast<double>(
               sfs::graph::max_degree(g, sfs::graph::DegreeKind::kIn));
-        });
+        },
+        /*threads=*/0);
     sfs::bench::print_scaling(
         "E5: max indegree of Mori tree, p=" + sfs::sim::format_double(p, 2),
         series, "max degree",

@@ -148,10 +148,11 @@ std::uint64_t derive_seed(std::uint64_t experiment_seed,
 std::uint64_t derive_stream_seed(std::uint64_t experiment_seed,
                                  std::uint64_t stream,
                                  std::uint64_t rep) noexcept {
-  // Stream 0 must coincide with derive_seed(experiment_seed, rep): the
-  // historical harness seeds (graph stream untagged, other streams tagged
-  // by XOR) are load-bearing for reproducing recorded experiment tables.
-  return derive_seed(experiment_seed ^ (stream == 0 ? 0 : stream), rep);
+  // Stream 0 coincides with derive_seed(experiment_seed, rep) by
+  // construction (x ^ 0 == x): the historical harness seeds (graph stream
+  // untagged, other streams tagged by XOR) are load-bearing for
+  // reproducing recorded experiment tables.
+  return derive_seed(experiment_seed ^ stream, rep);
 }
 
 }  // namespace sfs::rng

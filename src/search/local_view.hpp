@@ -71,10 +71,12 @@ class SearchWorkspace {
  public:
   SearchWorkspace() = default;
 
+  // Not copyable or movable: a live LocalView holds a raw pointer to its
+  // workspace, so relocating one would dangle the view.
   SearchWorkspace(const SearchWorkspace&) = delete;
   SearchWorkspace& operator=(const SearchWorkspace&) = delete;
-  SearchWorkspace(SearchWorkspace&&) = default;
-  SearchWorkspace& operator=(SearchWorkspace&&) = default;
+  SearchWorkspace(SearchWorkspace&&) = delete;
+  SearchWorkspace& operator=(SearchWorkspace&&) = delete;
 
  private:
   friend class LocalView;

@@ -1,13 +1,12 @@
 #include "sim/parallel.hpp"
 
 #include <atomic>
+#include <cerrno>
 #include <condition_variable>
 #include <cstdlib>
 #include <mutex>
 #include <thread>
 #include <vector>
-
-#include "base/check.hpp"
 
 namespace sfs::sim {
 
@@ -22,8 +21,11 @@ thread_local bool t_inside_pool_task = false;
 std::size_t default_worker_count() {
   if (const char* env = std::getenv("SFS_THREADS")) {
     char* end = nullptr;
+    errno = 0;
     const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v > 0) {
+    // Out-of-range values (strtol clamps to LONG_MAX/LONG_MIN with ERANGE)
+    // fall back to hardware concurrency like any other garbage.
+    if (end != env && *end == '\0' && errno == 0 && v > 0) {
       return static_cast<std::size_t>(v);
     }
   }
@@ -87,23 +89,38 @@ struct ThreadPool::Impl {
       }
     }
   }
+
+  /// Stops and joins the background threads. Safe with any subset of the
+  /// requested threads actually spawned (partial construction).
+  void shutdown() {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      stop = true;
+    }
+    job_cv.notify_all();
+    for (auto& t : threads) t.join();
+  }
 };
 
 ThreadPool::ThreadPool(std::size_t workers) : impl_(new Impl) {
   impl_->workers = workers == 0 ? default_worker_count() : workers;
-  impl_->threads.reserve(impl_->workers - 1);
-  for (std::size_t w = 1; w < impl_->workers; ++w) {
-    impl_->threads.emplace_back([this, w] { impl_->worker_loop(w); });
+  try {
+    impl_->threads.reserve(impl_->workers - 1);
+    for (std::size_t w = 1; w < impl_->workers; ++w) {
+      impl_->threads.emplace_back([this, w] { impl_->worker_loop(w); });
+    }
+  } catch (...) {
+    // A std::thread failed to spawn (resource limit): the destructor will
+    // not run for a half-constructed object, so stop and join the workers
+    // that did start before letting the exception propagate.
+    impl_->shutdown();
+    delete impl_;
+    throw;
   }
 }
 
 ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lk(impl_->mu);
-    impl_->stop = true;
-  }
-  impl_->job_cv.notify_all();
-  for (auto& t : impl_->threads) t.join();
+  impl_->shutdown();
   delete impl_;
 }
 

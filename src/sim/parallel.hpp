@@ -50,7 +50,10 @@ class ThreadPool {
   /// Runs fn(task, worker) for every task in [0, count), then returns.
   /// `worker` is stable within one task and < worker_count(). Exceptions
   /// thrown by tasks are captured; the first one (in completion order) is
-  /// rethrown on the calling thread after all workers quiesce.
+  /// rethrown on the calling thread after all workers quiesce. Once a task
+  /// throws, remaining unclaimed tasks are cancelled (never run), so on
+  /// exceptional exit per-task result slots may be only partially written
+  /// — cleanup code must not assume every task executed.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t task,
                                              std::size_t worker)>& fn);

@@ -35,6 +35,10 @@ ScalingSeries measure_scaling(
     series.points[i].n = sizes[i];
     series.points[i].raw.resize(reps);
   }
+  std::vector<std::uint64_t> point_seeds(sizes.size());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    point_seeds[i] = rng::mix64(seed ^ (0x9e37 + i));
+  }
   // Fan the whole size x replication grid out at once: sizes near the top
   // of the sweep dominate the cost, so scheduling the grid dynamically
   // keeps workers busy across size boundaries. Each cell's seed depends
@@ -44,10 +48,8 @@ ScalingSeries measure_scaling(
                [&](std::size_t task, std::size_t) {
                  const std::size_t i = task / reps;
                  const std::size_t r = task % reps;
-                 const std::uint64_t point_seed =
-                     rng::mix64(seed ^ (0x9e37 + i));
                  series.points[i].raw[r] =
-                     measure(sizes[i], rng::derive_seed(point_seed, r));
+                     measure(sizes[i], rng::derive_seed(point_seeds[i], r));
                });
   for (auto& point : series.points) {
     point.summary = stats::summarize(point.raw);

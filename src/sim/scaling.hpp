@@ -38,16 +38,16 @@ struct ScalingSeries {
 /// `measure` must return a positive value for the fit to be meaningful;
 /// non-positive values are recorded but excluded from the fit.
 ///
-/// The size x replication grid is fanned out over the parallel executor
-/// (`threads`: 0 = shared pool, 1 = sequential, n = pool of n); `measure`
-/// must be safe to call concurrently. Replication values are stored and
-/// folded in (size, rep) order, so the series is bit-identical for any
-/// thread count.
+/// The size x replication grid can be fanned out over the parallel
+/// executor (`threads`: 1 (the default) = sequential, 0 = shared pool,
+/// n = pool of n workers); any value other than 1 requires `measure` to be
+/// safe to call concurrently. Replication values are stored and folded in
+/// (size, rep) order, so the series is bit-identical for any thread count.
 [[nodiscard]] ScalingSeries measure_scaling(
     const std::vector<std::size_t>& sizes, std::size_t reps,
     std::uint64_t seed,
     const std::function<double(std::size_t n, std::uint64_t seed)>& measure,
-    std::size_t threads = 0);
+    std::size_t threads = 1);
 
 /// Geometric grid of sizes from `lo` to `hi` (inclusive-ish) with `count`
 /// points, rounded to distinct integers.

@@ -3,10 +3,12 @@
 // policy. The minimum over the portfolio is the empirical stand-in for
 // "any algorithm" in the lower-bound experiments.
 //
-// Replications are fanned out over the deterministic parallel executor
+// Replications can be fanned out over the deterministic parallel executor
 // (sim/parallel.hpp). Because every replication derives its own seeds from
 // (seed, rep) and results are folded in replication order, the summaries
-// are bit-identical for any thread count, including 1.
+// are bit-identical for any thread count, including 1. Parallelism is
+// opt-in (`threads` defaults to 1): passing 0 or >1 requires the caller's
+// factory and endpoint selector to be safe to call concurrently.
 #pragma once
 
 #include <cstdint>
@@ -55,19 +57,20 @@ struct PortfolioCost {
 /// Measures the full weak portfolio (weak_portfolio()) on `reps` fresh
 /// graphs. Every policy sees the same sequence of graphs (same graph seeds)
 /// so the comparison is paired. `threads` selects the replication fan-out:
-/// 0 = the shared pool (default worker count), 1 = sequential, n = a pool
-/// of n workers; the result is bit-identical in all cases. The factory and
-/// endpoint selector must be safe to call concurrently.
+/// 1 (the default) = sequential, 0 = the shared pool (default worker
+/// count), n = a pool of n workers; the result is bit-identical in all
+/// cases. Any value other than 1 requires the factory and endpoint
+/// selector to be safe to call concurrently.
 [[nodiscard]] PortfolioCost measure_weak_portfolio(
     const GraphFactory& factory, const EndpointSelector& endpoints,
     std::size_t reps, std::uint64_t seed,
-    const search::RunBudget& budget = {}, std::size_t threads = 0);
+    const search::RunBudget& budget = {}, std::size_t threads = 1);
 
 /// Same for the strong portfolio (strong_portfolio()).
 [[nodiscard]] PortfolioCost measure_strong_portfolio(
     const GraphFactory& factory, const EndpointSelector& endpoints,
     std::size_t reps, std::uint64_t seed,
-    const search::RunBudget& budget = {}, std::size_t threads = 0);
+    const search::RunBudget& budget = {}, std::size_t threads = 1);
 
 /// Selector: start at vertex 0 (the paper's oldest vertex), target the last
 /// vertex (the paper's vertex n).

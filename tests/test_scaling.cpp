@@ -43,14 +43,16 @@ TEST(MeasureScaling, NoisyExponentWithinTolerance) {
 TEST(MeasureScaling, SeedsAreDeterministic) {
   std::vector<double> seen_a;
   std::vector<double> seen_b;
+  // The measure lambda mutates unguarded state, so this test must stay on
+  // the sequential path (threads=1, also the default).
   auto run = [](std::vector<double>& seen) {
     return [&seen](std::size_t n, std::uint64_t seed) {
       seen.push_back(static_cast<double>(seed));
       return static_cast<double>(n);
     };
   };
-  (void)measure_scaling({10, 20}, 2, 7, run(seen_a));
-  (void)measure_scaling({10, 20}, 2, 7, run(seen_b));
+  (void)measure_scaling({10, 20}, 2, 7, run(seen_a), /*threads=*/1);
+  (void)measure_scaling({10, 20}, 2, 7, run(seen_b), /*threads=*/1);
   EXPECT_EQ(seen_a, seen_b);
   // Distinct seeds across reps and sizes.
   std::set<double> unique(seen_a.begin(), seen_a.end());
