@@ -73,7 +73,8 @@ int main() {
         sizes, reps, 0xE7,
         [k](std::size_t n, std::uint64_t seed) {
           return std::max(1.0, greedy_cost(n, k, seed));
-        });
+        },
+        /*threads=*/0);
     sfs::bench::print_scaling(
         "E7: degree-greedy steps, k=" + sfs::sim::format_double(k, 1),
         greedy, "greedy steps", sfs::core::theory::adamic_greedy_exponent(k),
@@ -83,7 +84,8 @@ int main() {
         sizes, reps, 0x7E7,
         [k](std::size_t n, std::uint64_t seed) {
           return std::max(1.0, walk_cost(n, k, seed));
-        });
+        },
+        /*threads=*/0);
     sfs::bench::print_scaling(
         "E7: random-walk steps, k=" + sfs::sim::format_double(k, 1), walk,
         "walk steps", sfs::core::theory::adamic_random_walk_exponent(k),
