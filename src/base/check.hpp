@@ -9,6 +9,8 @@
 // worse than the (negligible) branch cost.
 #pragma once
 
+#include <cstddef>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -42,6 +44,33 @@ namespace sfs::detail {
       ::sfs::detail::throw_require_failure(#expr, __FILE__, __LINE__,   \
                                            std::string(msg));           \
   } while (false)
+
+namespace sfs {
+
+/// a * b with wrap-around detection; throws std::invalid_argument (tagged
+/// with `context`) instead of silently wrapping. Used for size arithmetic
+/// that feeds reserve()/resize() calls, where a wrapped product would
+/// either under-reserve or pass a bogus "fits" check.
+[[nodiscard]] inline std::size_t checked_mul(std::size_t a, std::size_t b,
+                                             const char* context) {
+  if (b != 0 && a > std::numeric_limits<std::size_t>::max() / b) {
+    detail::throw_require_failure("a * b does not overflow", __FILE__,
+                                  __LINE__, std::string(context));
+  }
+  return a * b;
+}
+
+/// a + b with wrap-around detection; throws std::invalid_argument.
+[[nodiscard]] inline std::size_t checked_add(std::size_t a, std::size_t b,
+                                             const char* context) {
+  if (a > std::numeric_limits<std::size_t>::max() - b) {
+    detail::throw_require_failure("a + b does not overflow", __FILE__,
+                                  __LINE__, std::string(context));
+  }
+  return a + b;
+}
+
+}  // namespace sfs
 
 // Validates an internal invariant; throws std::logic_error.
 #define SFS_CHECK(expr, msg)                                            \

@@ -7,26 +7,41 @@
 namespace sfs::gen {
 
 using graph::Graph;
-using graph::GraphBuilder;
 using graph::VertexId;
 
 Graph barabasi_albert(std::size_t n, const BarabasiAlbertParams& params,
                       rng::Rng& rng) {
+  GenScratch scratch;
+  Graph g;
+  barabasi_albert(n, params, rng, scratch, g);
+  return g;
+}
+
+void barabasi_albert(std::size_t n, const BarabasiAlbertParams& params,
+                     rng::Rng& rng, GenScratch& scratch, graph::Graph& out) {
   SFS_REQUIRE(n >= 1, "need at least one vertex");
   SFS_REQUIRE(params.m >= 1, "BA needs m >= 1");
+  // Checked reserve math: (n - 1) * m wraps for large n and would silently
+  // under-reserve (or "pass" a fits-in-EdgeId test) instead of failing.
+  const std::size_t total_edges = checked_add(
+      1, checked_mul(n - 1, params.m, "BA edge count (n-1)*m overflows"),
+      "BA edge count overflows");
+  SFS_REQUIRE(total_edges <= static_cast<std::size_t>(graph::kNoEdge),
+              "BA edge count exceeds the edge id range");
 
-  GraphBuilder b(n);
-  b.reserve_edges(1 + (n - 1) * params.m);
+  scratch.builder.reset(n);
+  scratch.builder.reserve_edges(total_edges);
   // Total-degree bag: one entry per edge endpoint.
-  std::vector<VertexId> bag;
-  bag.reserve(2 * (1 + (n - 1) * params.m));
+  std::vector<VertexId>& bag = scratch.pref_bag;
+  bag.clear();
+  bag.reserve(checked_mul(2, total_edges, "BA bag size overflows"));
 
   // Seed: vertex 0 with a self-loop (degree 2).
-  b.add_edge(0, 0);
+  scratch.builder.add_edge(0, 0);
   bag.push_back(0);
   bag.push_back(0);
 
-  std::vector<VertexId> targets;
+  std::vector<VertexId>& targets = scratch.targets;
   for (VertexId v = 1; v < n; ++v) {
     targets.clear();
     const std::size_t want = std::min<std::size_t>(params.m, v);
@@ -42,12 +57,12 @@ Graph barabasi_albert(std::size_t n, const BarabasiAlbertParams& params,
       targets.push_back(t);
     }
     for (const VertexId t : targets) {
-      b.add_edge(v, t);
+      scratch.builder.add_edge(v, t);
       bag.push_back(v);
       bag.push_back(t);
     }
   }
-  return b.build();
+  scratch.builder.build_into(out);
 }
 
 }  // namespace sfs::gen

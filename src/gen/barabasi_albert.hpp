@@ -5,6 +5,7 @@
 
 #include <cstddef>
 
+#include "gen/scratch.hpp"
 #include "graph/graph.hpp"
 #include "rng/random.hpp"
 
@@ -24,5 +25,11 @@ struct BarabasiAlbertParams {
 [[nodiscard]] graph::Graph barabasi_albert(std::size_t n,
                                            const BarabasiAlbertParams& params,
                                            rng::Rng& rng);
+
+/// Scratch-reusing overload: regenerates `out` in place, recycling the
+/// preference bag, target list and CSR buffers. Bit-identical to the
+/// fresh-allocation overload for the same (n, params, rng state).
+void barabasi_albert(std::size_t n, const BarabasiAlbertParams& params,
+                     rng::Rng& rng, GenScratch& scratch, graph::Graph& out);
 
 }  // namespace sfs::gen

@@ -42,6 +42,23 @@ CooperFriezeProcess::CooperFriezeProcess(const CooperFriezeParams& params)
       p_dist_(std::span<const double>(params.p)),
       q_dist_(std::span<const double>(params.q)) {
   params_.validate();
+  init_seed_state();
+}
+
+CooperFriezeProcess::CooperFriezeProcess(const CooperFriezeParams& params,
+                                         GenScratch& scratch)
+    : params_(params),
+      p_dist_(std::span<const double>(params.p)),
+      q_dist_(std::span<const double>(params.q)) {
+  params_.validate();
+  edges_.swap(scratch.edges);
+  pref_bag_.swap(scratch.pref_bag);
+  edges_.clear();
+  pref_bag_.clear();
+  init_seed_state();
+}
+
+void CooperFriezeProcess::init_seed_state() {
   // Seed graph: one vertex with a self-loop, so every degree notion starts
   // positive and preferential choice is well defined from step one.
   num_vertices_ = 1;
@@ -50,6 +67,11 @@ CooperFriezeProcess::CooperFriezeProcess(const CooperFriezeParams& params)
   if (params_.preference == Preference::kTotalDegree) {
     pref_bag_.push_back(0);  // tail unit as well
   }
+}
+
+void CooperFriezeProcess::release_scratch(GenScratch& scratch) noexcept {
+  edges_.swap(scratch.edges);
+  pref_bag_.swap(scratch.pref_bag);
 }
 
 std::size_t CooperFriezeProcess::sample_count(const rng::CdfSampler& dist,
@@ -120,33 +142,61 @@ Graph CooperFriezeProcess::graph() const {
   return b.build();
 }
 
-CooperFriezeGraph cooper_frieze(std::size_t n_vertices,
-                                const CooperFriezeParams& params,
-                                rng::Rng& rng) {
-  SFS_REQUIRE(n_vertices >= 1, "need at least one vertex");
-  CooperFriezeProcess proc(params);
-  while (proc.num_vertices() < n_vertices) (void)proc.step(rng);
-  CooperFriezeGraph out;
-  out.graph = proc.graph();
+void CooperFriezeProcess::graph_into(GenScratch& scratch,
+                                     Graph& out) const {
+  scratch.builder.reset(num_vertices_);
+  scratch.builder.reserve_edges(edges_.size());
+  for (const Edge& e : edges_) scratch.builder.add_edge(e.tail, e.head);
+  scratch.builder.build_into(out);
+}
+
+namespace {
+
+void finalize_cf(CooperFriezeProcess& proc, GenScratch& scratch,
+                 CooperFriezeGraph& out) {
+  proc.graph_into(scratch, out.graph);
+  proc.release_scratch(scratch);
   out.steps = proc.num_steps();
   out.birth_order.resize(out.graph.num_vertices());
   for (VertexId v = 0; v < out.graph.num_vertices(); ++v)
     out.birth_order[v] = v;
+}
+
+}  // namespace
+
+CooperFriezeGraph cooper_frieze(std::size_t n_vertices,
+                                const CooperFriezeParams& params,
+                                rng::Rng& rng) {
+  GenScratch scratch;
+  CooperFriezeGraph out;
+  cooper_frieze(n_vertices, params, rng, scratch, out);
   return out;
+}
+
+void cooper_frieze(std::size_t n_vertices, const CooperFriezeParams& params,
+                   rng::Rng& rng, GenScratch& scratch,
+                   CooperFriezeGraph& out) {
+  SFS_REQUIRE(n_vertices >= 1, "need at least one vertex");
+  CooperFriezeProcess proc(params, scratch);
+  while (proc.num_vertices() < n_vertices) (void)proc.step(rng);
+  finalize_cf(proc, scratch, out);
 }
 
 CooperFriezeGraph cooper_frieze_steps(std::size_t steps,
                                       const CooperFriezeParams& params,
                                       rng::Rng& rng) {
-  CooperFriezeProcess proc(params);
-  for (std::size_t s = 0; s < steps; ++s) (void)proc.step(rng);
+  GenScratch scratch;
   CooperFriezeGraph out;
-  out.graph = proc.graph();
-  out.steps = proc.num_steps();
-  out.birth_order.resize(out.graph.num_vertices());
-  for (VertexId v = 0; v < out.graph.num_vertices(); ++v)
-    out.birth_order[v] = v;
+  cooper_frieze_steps(steps, params, rng, scratch, out);
   return out;
+}
+
+void cooper_frieze_steps(std::size_t steps, const CooperFriezeParams& params,
+                         rng::Rng& rng, GenScratch& scratch,
+                         CooperFriezeGraph& out) {
+  CooperFriezeProcess proc(params, scratch);
+  for (std::size_t s = 0; s < steps; ++s) (void)proc.step(rng);
+  finalize_cf(proc, scratch, out);
 }
 
 }  // namespace sfs::gen

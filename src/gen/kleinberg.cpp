@@ -1,27 +1,46 @@
 #include "gen/kleinberg.hpp"
 
 #include <cmath>
-#include <vector>
 
 #include "graph/builder.hpp"
 
 namespace sfs::gen {
 
-using graph::GraphBuilder;
 using graph::VertexId;
 
 KleinbergGrid::KleinbergGrid(std::size_t L, const KleinbergParams& params,
                              rng::Rng& rng)
     : L_(L), params_(params) {
+  GenScratch scratch;
+  build_graph(rng, scratch);
+}
+
+KleinbergGrid::KleinbergGrid(std::size_t L, const KleinbergParams& params,
+                             rng::Rng& rng, GenScratch& scratch)
+    : L_(L), params_(params) {
+  build_graph(rng, scratch);
+}
+
+void KleinbergGrid::rebuild(std::size_t L, const KleinbergParams& params,
+                            rng::Rng& rng, GenScratch& scratch) {
+  L_ = L;
+  params_ = params;
+  build_graph(rng, scratch);
+}
+
+void KleinbergGrid::build_graph(rng::Rng& rng, GenScratch& scratch) {
+  const std::size_t L = L_;
   SFS_REQUIRE(L >= 2, "grid side must be >= 2");
-  SFS_REQUIRE(params.r >= 0.0, "long-range exponent must be >= 0");
-  const std::size_t n = L * L;
+  SFS_REQUIRE(params_.r >= 0.0, "long-range exponent must be >= 0");
+  const std::size_t n = checked_mul(L, L, "Kleinberg L*L overflows");
 
   // Enumerate all non-zero torus offsets once, weighted dist^{-r}; sampling
   // a long-range contact is then one alias-table draw. Exact law, O(L^2)
   // memory.
-  std::vector<double> weights;
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> offsets;
+  std::vector<double>& weights = scratch.weights;
+  auto& offsets = scratch.offsets;
+  weights.clear();
+  offsets.clear();
   weights.reserve(n - 1);
   offsets.reserve(n - 1);
   for (std::size_t dx = 0; dx < L; ++dx) {
@@ -32,33 +51,36 @@ KleinbergGrid::KleinbergGrid(std::size_t L, const KleinbergParams& params,
       const double dist = static_cast<double>(ax + ay);
       offsets.emplace_back(static_cast<std::uint32_t>(dx),
                            static_cast<std::uint32_t>(dy));
-      weights.push_back(std::pow(dist, -params.r));
+      weights.push_back(std::pow(dist, -params_.r));
     }
   }
   const rng::AliasTable offset_dist{std::span<const double>(weights)};
 
-  GraphBuilder b(n);
-  b.reserve_edges(2 * n + params.q * n);
+  scratch.builder.reset(n);
+  scratch.builder.reserve_edges(checked_add(
+      checked_mul(2, n, "Kleinberg local edge count overflows"),
+      checked_mul(params_.q, n, "Kleinberg long-range edge count overflows"),
+      "Kleinberg edge count overflows"));
   // Local edges: each vertex emits "right" and "down" so each lattice edge
   // appears once; on the torus every vertex ends with 4 local neighbors.
   for (std::size_t x = 0; x < L; ++x) {
     for (std::size_t y = 0; y < L; ++y) {
       const VertexId v = vertex_at(x, y);
-      b.add_edge(v, vertex_at(x + 1, y));
-      b.add_edge(v, vertex_at(x, y + 1));
+      scratch.builder.add_edge(v, vertex_at(x + 1, y));
+      scratch.builder.add_edge(v, vertex_at(x, y + 1));
     }
   }
   // Long-range edges.
   for (std::size_t x = 0; x < L; ++x) {
     for (std::size_t y = 0; y < L; ++y) {
       const VertexId v = vertex_at(x, y);
-      for (std::size_t k = 0; k < params.q; ++k) {
+      for (std::size_t k = 0; k < params_.q; ++k) {
         const auto [dx, dy] = offsets[offset_dist.sample(rng)];
-        b.add_edge(v, vertex_at(x + dx, y + dy));
+        scratch.builder.add_edge(v, vertex_at(x + dx, y + dy));
       }
     }
   }
-  graph_ = b.build();
+  scratch.builder.build_into(graph_);
 }
 
 std::pair<std::size_t, std::size_t> KleinbergGrid::coords(VertexId v) const {

@@ -11,9 +11,28 @@ using graph::VertexId;
 
 MoriProcess::MoriProcess(const MoriParams& params) : params_(params) {
   SFS_REQUIRE(params.p >= 0.0 && params.p <= 1.0, "Mori p must be in [0,1]");
-  fathers_ = {kNoVertex, 0};  // vertex 1 attaches to vertex 0
-  head_bag_ = {0};
-  in_degree_ = {1, 0};
+  init_seed_state();
+}
+
+MoriProcess::MoriProcess(const MoriParams& params, GenScratch& scratch)
+    : params_(params) {
+  SFS_REQUIRE(params.p >= 0.0 && params.p <= 1.0, "Mori p must be in [0,1]");
+  fathers_.swap(scratch.fathers);
+  head_bag_.swap(scratch.pref_bag);
+  in_degree_.swap(scratch.in_degree);
+  init_seed_state();
+}
+
+void MoriProcess::init_seed_state() {
+  fathers_.assign({kNoVertex, 0});  // vertex 1 attaches to vertex 0
+  head_bag_.assign({0});
+  in_degree_.assign({1, 0});
+}
+
+void MoriProcess::release_scratch(GenScratch& scratch) noexcept {
+  fathers_.swap(scratch.fathers);
+  head_bag_.swap(scratch.pref_bag);
+  in_degree_.swap(scratch.in_degree);
 }
 
 VertexId MoriProcess::step(rng::Rng& rng) {
@@ -61,11 +80,29 @@ Graph MoriProcess::graph() const {
   return b.build();
 }
 
+void MoriProcess::graph_into(GenScratch& scratch, graph::Graph& out) const {
+  scratch.builder.reset(fathers_.size());
+  scratch.builder.reserve_edges(fathers_.size() - 1);
+  for (std::size_t v = 1; v < fathers_.size(); ++v) {
+    scratch.builder.add_edge(static_cast<VertexId>(v), fathers_[v]);
+  }
+  scratch.builder.build_into(out);
+}
+
 Graph mori_tree(std::size_t n, const MoriParams& params, rng::Rng& rng) {
+  GenScratch scratch;
+  Graph g;
+  mori_tree(n, params, rng, scratch, g);
+  return g;
+}
+
+void mori_tree(std::size_t n, const MoriParams& params, rng::Rng& rng,
+               GenScratch& scratch, graph::Graph& out) {
   SFS_REQUIRE(n >= 2, "Mori tree needs at least 2 vertices");
-  MoriProcess proc(params);
+  MoriProcess proc(params, scratch);
   proc.grow_to(n, rng);
-  return proc.graph();
+  proc.graph_into(scratch, out);
+  proc.release_scratch(scratch);
 }
 
 std::vector<VertexId> fathers(const Graph& tree) {
@@ -85,25 +122,43 @@ std::vector<VertexId> fathers(const Graph& tree) {
 }
 
 Graph merge_consecutive(const Graph& g, std::size_t m) {
+  GenScratch scratch;
+  Graph out;
+  merge_consecutive(g, m, scratch, out);
+  return out;
+}
+
+void merge_consecutive(const Graph& g, std::size_t m, GenScratch& scratch,
+                       graph::Graph& out) {
   SFS_REQUIRE(m >= 1, "merge factor must be >= 1");
   SFS_REQUIRE(g.num_vertices() % m == 0,
               "vertex count must be a multiple of the merge factor");
+  SFS_REQUIRE(&g != &out, "in-place merge is not supported");
   const std::size_t n = g.num_vertices() / m;
-  GraphBuilder b(n);
-  b.reserve_edges(g.num_edges());
+  scratch.builder.reset(n);
+  scratch.builder.reserve_edges(g.num_edges());
   for (const graph::Edge& e : g.edges()) {
-    b.add_edge(static_cast<VertexId>(e.tail / m),
-               static_cast<VertexId>(e.head / m));
+    scratch.builder.add_edge(static_cast<VertexId>(e.tail / m),
+                             static_cast<VertexId>(e.head / m));
   }
-  return b.build();
+  scratch.builder.build_into(out);
 }
 
 Graph merged_mori_graph(std::size_t n, std::size_t m, const MoriParams& params,
                         rng::Rng& rng) {
+  GenScratch scratch;
+  Graph out;
+  merged_mori_graph(n, m, params, rng, scratch, out);
+  return out;
+}
+
+void merged_mori_graph(std::size_t n, std::size_t m, const MoriParams& params,
+                       rng::Rng& rng, GenScratch& scratch, graph::Graph& out) {
   SFS_REQUIRE(n >= 1 && m >= 1, "need n, m >= 1");
-  SFS_REQUIRE(n * m >= 2, "underlying tree needs at least 2 vertices");
-  const Graph tree = mori_tree(n * m, params, rng);
-  return merge_consecutive(tree, m);
+  const std::size_t total = checked_mul(n, m, "merged Mori n*m overflows");
+  SFS_REQUIRE(total >= 2, "underlying tree needs at least 2 vertices");
+  mori_tree(total, params, rng, scratch, scratch.tmp_graph);
+  merge_consecutive(scratch.tmp_graph, m, scratch, out);
 }
 
 }  // namespace sfs::gen

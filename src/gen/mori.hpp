@@ -29,6 +29,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "gen/scratch.hpp"
 #include "graph/graph.hpp"
 #include "rng/random.hpp"
 
@@ -66,12 +67,29 @@ struct MoriParams {
 [[nodiscard]] graph::Graph merge_consecutive(const graph::Graph& g,
                                              std::size_t m);
 
+/// Scratch-reusing overloads: regenerate `out` in place, recycling the
+/// father array, head bag and CSR buffers. Bit-identical to the fresh
+/// paths. The merged overload uses scratch.tmp_graph for the underlying
+/// tree, so never pass scratch.tmp_graph as `out`.
+void mori_tree(std::size_t n, const MoriParams& params, rng::Rng& rng,
+               GenScratch& scratch, graph::Graph& out);
+void merge_consecutive(const graph::Graph& g, std::size_t m,
+                       GenScratch& scratch, graph::Graph& out);
+void merged_mori_graph(std::size_t n, std::size_t m, const MoriParams& params,
+                       rng::Rng& rng, GenScratch& scratch, graph::Graph& out);
+
 /// Incremental Móri process, exposed for the equivalence/event machinery
 /// (core/equivalence.hpp) which needs to observe fathers as they are drawn.
 class MoriProcess {
  public:
   /// Initializes the t = 2 state (vertices {0, 1}, edge 1 -> 0).
   explicit MoriProcess(const MoriParams& params);
+
+  /// Same, but borrows the working buffers (father array, head bag,
+  /// indegrees) from `scratch` so repeated processes recycle capacity.
+  /// Call release_scratch(scratch) when done to return them; the scratch
+  /// must outlive the process.
+  MoriProcess(const MoriParams& params, GenScratch& scratch);
 
   /// Number of vertices so far (>= 2).
   [[nodiscard]] std::size_t size() const noexcept {
@@ -96,7 +114,16 @@ class MoriProcess {
   /// Materializes the current tree as a Graph.
   [[nodiscard]] graph::Graph graph() const;
 
+  /// Materializes into `out`, recycling its buffers via scratch.builder.
+  void graph_into(GenScratch& scratch, graph::Graph& out) const;
+
+  /// Returns borrowed buffers to `scratch` (pair of the scratch-borrowing
+  /// constructor). The process must not be used afterwards.
+  void release_scratch(GenScratch& scratch) noexcept;
+
  private:
+  void init_seed_state();
+
   MoriParams params_;
   std::vector<graph::VertexId> fathers_;   // fathers_[0] = kNoVertex
   std::vector<graph::VertexId> head_bag_;  // one entry per received edge

@@ -4,6 +4,13 @@
 
 namespace sfs::graph {
 
+void GraphBuilder::reset(std::size_t n) {
+  SFS_REQUIRE(n <= static_cast<std::size_t>(kNoVertex),
+              "vertex count overflow");
+  num_vertices_ = n;
+  edges_.clear();
+}
+
 VertexId GraphBuilder::add_vertex() {
   SFS_REQUIRE(num_vertices_ < kNoVertex, "vertex count overflow");
   return static_cast<VertexId>(num_vertices_++);
@@ -11,7 +18,11 @@ VertexId GraphBuilder::add_vertex() {
 
 VertexId GraphBuilder::add_vertices(std::size_t count) {
   const auto first = static_cast<VertexId>(num_vertices_);
-  SFS_REQUIRE(num_vertices_ + count < kNoVertex, "vertex count overflow");
+  // Subtraction form: `num_vertices_ + count < kNoVertex` wraps for count
+  // near SIZE_MAX and lets the check pass. num_vertices_ <= kNoVertex is a
+  // class invariant, so the difference below cannot itself wrap.
+  SFS_REQUIRE(count < static_cast<std::size_t>(kNoVertex) - num_vertices_,
+              "vertex count overflow");
   num_vertices_ += count;
   return first;
 }
@@ -26,36 +37,45 @@ EdgeId GraphBuilder::add_edge(VertexId tail, VertexId head) {
 
 Graph GraphBuilder::build() {
   Graph g;
+  build_into(g);
+  return g;
+}
+
+void GraphBuilder::build_into(Graph& g) {
   const std::size_t n = num_vertices_;
-  g.edges_ = std::move(edges_);
+  // Swap rather than move: the builder inherits g's previous edge buffer
+  // (sized for the last replication), so the next reset + add_edge cycle
+  // reuses it.
+  g.edges_.swap(edges_);
   edges_.clear();
   num_vertices_ = 0;
 
   g.in_degree_.assign(n, 0);
   g.out_degree_.assign(n, 0);
   // Counting pass: undirected degree per vertex (loops twice).
-  std::vector<std::size_t> deg(n, 0);
+  deg_scratch_.assign(n, 0);
   for (const Edge& e : g.edges_) {
-    ++deg[e.tail];
-    ++deg[e.head];
+    ++deg_scratch_[e.tail];
+    ++deg_scratch_[e.head];
     ++g.out_degree_[e.tail];
     ++g.in_degree_[e.head];
   }
   g.offsets_.assign(n + 1, 0);
-  for (std::size_t v = 0; v < n; ++v) g.offsets_[v + 1] = g.offsets_[v] + deg[v];
+  for (std::size_t v = 0; v < n; ++v) {
+    g.offsets_[v + 1] = g.offsets_[v] + deg_scratch_[v];
+  }
   g.incidence_.assign(g.offsets_[n], kNoEdge);
   g.incidence_vertex_.assign(g.offsets_[n], kNoVertex);
 
-  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  cursor_scratch_.assign(g.offsets_.begin(), g.offsets_.end() - 1);
   for (std::size_t i = 0; i < g.edges_.size(); ++i) {
     const auto id = static_cast<EdgeId>(i);
     const Edge& e = g.edges_[i];
-    g.incidence_[cursor[e.tail]] = id;
-    g.incidence_vertex_[cursor[e.tail]++] = e.head;
-    g.incidence_[cursor[e.head]] = id;  // self-loop: listed twice
-    g.incidence_vertex_[cursor[e.head]++] = e.tail;
+    g.incidence_[cursor_scratch_[e.tail]] = id;
+    g.incidence_vertex_[cursor_scratch_[e.tail]++] = e.head;
+    g.incidence_[cursor_scratch_[e.head]] = id;  // self-loop: listed twice
+    g.incidence_vertex_[cursor_scratch_[e.head]++] = e.tail;
   }
-  return g;
 }
 
 }  // namespace sfs::graph

@@ -18,8 +18,15 @@ class GraphBuilder {
  public:
   GraphBuilder() = default;
 
-  /// Starts with `n` isolated vertices.
-  explicit GraphBuilder(std::size_t n) : num_vertices_(n) {}
+  /// Starts with `n` isolated vertices. Requires n <= kNoVertex.
+  explicit GraphBuilder(std::size_t n) { reset(n); }
+
+  /// Re-initializes to `n` isolated vertices and no edges, keeping every
+  /// internal buffer's capacity. This is the zero-realloc entry point for
+  /// replication loops: reset + add_edge* + build_into touches the
+  /// allocator only while the graphs are still growing past the
+  /// high-water mark.
+  void reset(std::size_t n);
 
   /// Pre-allocates for `m` edges.
   void reserve_edges(std::size_t m) { edges_.reserve(m); }
@@ -44,9 +51,19 @@ class GraphBuilder {
   /// Finalizes into an immutable Graph. The builder is left empty.
   [[nodiscard]] Graph build();
 
+  /// Finalizes into `g`, recycling g's CSR arrays (offsets_, incidence_,
+  /// incidence_vertex_) and degree vectors instead of reallocating them.
+  /// The builder swaps its edge log with g's previous one (keeping its
+  /// capacity for the next replication) and is left empty, exactly as
+  /// after build(). Equivalent to `g = build()` — same Graph, bit for bit.
+  void build_into(Graph& g);
+
  private:
   std::size_t num_vertices_ = 0;
   std::vector<Edge> edges_;
+  // CSR packing scratch reused across build_into() calls.
+  std::vector<std::size_t> deg_scratch_;
+  std::vector<std::size_t> cursor_scratch_;
 };
 
 }  // namespace sfs::graph

@@ -188,4 +188,8 @@ void parallel_for(std::size_t count, std::size_t threads,
   pool.parallel_for(count, fn);
 }
 
+std::size_t resolve_worker_count(std::size_t threads) {
+  return threads == 0 ? shared_pool().worker_count() : threads;
+}
+
 }  // namespace sfs::sim

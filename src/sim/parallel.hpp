@@ -74,4 +74,9 @@ void parallel_for(std::size_t count, std::size_t threads,
                   const std::function<void(std::size_t task,
                                            std::size_t worker)>& fn);
 
+/// Number of workers parallel_for(count, threads, fn) will hand out worker
+/// indices for — what harnesses must size per-worker scratch vectors to
+/// (threads == 0 maps to the shared pool's worker count).
+[[nodiscard]] std::size_t resolve_worker_count(std::size_t threads);
+
 }  // namespace sfs::sim

@@ -22,11 +22,28 @@ std::vector<double> ScalingSeries::sizes() const {
   return out;
 }
 
-ScalingSeries measure_scaling(
-    const std::vector<std::size_t>& sizes, std::size_t reps,
-    std::uint64_t seed,
-    const std::function<double(std::size_t, std::uint64_t)>& measure,
-    std::size_t threads) {
+namespace {
+
+// Stream tag of size index i. The tag is tempered through mix64: the old
+// scheme (point seed = mix64(seed ^ (0x9e37 + i)), i.e. an untempered
+// XOR tag) let two experiments whose seeds differ by a small XOR delta —
+// (0x9e37+i1) ^ (0x9e37+i2), e.g. 0x0F for adjacent indices — share an
+// entire per-size replication stream at shifted size indices. Tempering
+// makes inter-tag XOR deltas full-entropy 64-bit values, so nearby seeds
+// cannot alias. Routed through derive_stream_seed like sweep.cpp's
+// streams, which keeps the stream-discipline note in rng/random.cpp
+// honest (every harness derives streams the same way).
+std::uint64_t size_stream(std::size_t i) {
+  return rng::mix64(0x9e37ULL + i);
+}
+
+// Invoke: (n, cell_seed, worker) -> double, shared by the plain and
+// scratch-aware overloads.
+template <typename Invoke>
+ScalingSeries measure_scaling_impl(const std::vector<std::size_t>& sizes,
+                                   std::size_t reps, std::uint64_t seed,
+                                   std::size_t threads,
+                                   const Invoke& invoke) {
   SFS_REQUIRE(!sizes.empty(), "empty size sweep");
   SFS_REQUIRE(reps >= 1, "need at least one replication");
   ScalingSeries series;
@@ -35,21 +52,19 @@ ScalingSeries measure_scaling(
     series.points[i].n = sizes[i];
     series.points[i].raw.resize(reps);
   }
-  std::vector<std::uint64_t> point_seeds(sizes.size());
-  for (std::size_t i = 0; i < sizes.size(); ++i) {
-    point_seeds[i] = rng::mix64(seed ^ (0x9e37 + i));
-  }
   // Fan the whole size x replication grid out at once: sizes near the top
   // of the sweep dominate the cost, so scheduling the grid dynamically
   // keeps workers busy across size boundaries. Each cell's seed depends
   // only on (i, r), and each cell writes its own slot, so the series is
   // identical for any thread count.
   parallel_for(sizes.size() * reps, threads,
-               [&](std::size_t task, std::size_t) {
+               [&](std::size_t task, std::size_t worker) {
                  const std::size_t i = task / reps;
                  const std::size_t r = task % reps;
-                 series.points[i].raw[r] =
-                     measure(sizes[i], rng::derive_seed(point_seeds[i], r));
+                 series.points[i].raw[r] = invoke(
+                     sizes[i],
+                     rng::derive_stream_seed(seed, size_stream(i), r),
+                     worker);
                });
   for (auto& point : series.points) {
     point.summary = stats::summarize(point.raw);
@@ -66,6 +81,35 @@ ScalingSeries measure_scaling(
   }
   if (xs.size() >= 2) series.fit = stats::fit_power_law(xs, ys);
   return series;
+}
+
+}  // namespace
+
+ScalingSeries measure_scaling(
+    const std::vector<std::size_t>& sizes, std::size_t reps,
+    std::uint64_t seed,
+    const std::function<double(std::size_t, std::uint64_t)>& measure,
+    std::size_t threads) {
+  return measure_scaling_impl(
+      sizes, reps, seed, threads,
+      [&](std::size_t n, std::uint64_t cell_seed, std::size_t) {
+        return measure(n, cell_seed);
+      });
+}
+
+ScalingSeries measure_scaling(
+    const std::vector<std::size_t>& sizes, std::size_t reps,
+    std::uint64_t seed,
+    const std::function<double(std::size_t, std::uint64_t,
+                               gen::GenScratch&)>& measure,
+    std::size_t threads) {
+  // One generator scratch per worker, mirroring sim/sweep's WorkerState.
+  std::vector<gen::GenScratch> scratches(resolve_worker_count(threads));
+  return measure_scaling_impl(
+      sizes, reps, seed, threads,
+      [&](std::size_t n, std::uint64_t cell_seed, std::size_t worker) {
+        return measure(n, cell_seed, scratches[worker]);
+      });
 }
 
 std::vector<std::size_t> geometric_sizes(std::size_t lo, std::size_t hi,

@@ -9,6 +9,7 @@
 #include <functional>
 #include <vector>
 
+#include "gen/scratch.hpp"
 #include "stats/regression.hpp"
 #include "stats/summary.hpp"
 
@@ -33,10 +34,13 @@ struct ScalingSeries {
 };
 
 /// Measures `measure(n, seed)` for every n in `sizes`, `reps` times each
-/// (seeds derived from `seed` deterministically; replication r of size
-/// index i uses derive_seed(seed ^ hash(i), r)), and fits the exponent.
-/// `measure` must return a positive value for the fit to be meaningful;
-/// non-positive values are recorded but excluded from the fit.
+/// and fits the exponent. Replication r of size index i receives
+/// derive_stream_seed(seed, mix64(0x9e37 + i), r): the per-size stream tag
+/// is tempered through mix64 so that experiments whose seeds differ by a
+/// small XOR delta (the old untempered scheme collided e.g. seeds 0x0F
+/// apart at adjacent size indices) cannot share RNG streams at shifted
+/// indices. `measure` must return a positive value for the fit to be
+/// meaningful; non-positive values are recorded but excluded from the fit.
 ///
 /// The size x replication grid can be fanned out over the parallel
 /// executor (`threads`: 1 (the default) = sequential, 0 = shared pool,
@@ -47,6 +51,18 @@ struct ScalingSeries {
     const std::vector<std::size_t>& sizes, std::size_t reps,
     std::uint64_t seed,
     const std::function<double(std::size_t n, std::uint64_t seed)>& measure,
+    std::size_t threads = 1);
+
+/// Scratch-aware variant: `measure` additionally receives a per-worker
+/// gen::GenScratch so graph construction inside the measure callback can
+/// recycle buffers across the whole size x replication grid (pair it with
+/// the scratch-taking generator overloads in gen/). Seeds, fold order and
+/// the fitted series are identical to the plain overload.
+[[nodiscard]] ScalingSeries measure_scaling(
+    const std::vector<std::size_t>& sizes, std::size_t reps,
+    std::uint64_t seed,
+    const std::function<double(std::size_t n, std::uint64_t seed,
+                               gen::GenScratch& scratch)>& measure,
     std::size_t threads = 1);
 
 /// Geometric grid of sizes from `lo` to `hi` (inclusive-ish) with `count`

@@ -1,5 +1,6 @@
 #include "sim/sweep.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "base/check.hpp"
@@ -12,12 +13,23 @@ using graph::VertexId;
 
 namespace {
 
-std::size_t resolve_workers(std::size_t threads) {
-  return threads == 0 ? shared_pool().worker_count() : threads;
-}
+// Per-worker reusable state: one search workspace (O(1) reset between
+// runs), one portfolio instance (policies fully reset in start()), and —
+// for the scratch-aware factories — one generator scratch plus a Graph
+// whose buffers are recycled across replications.
+template <typename Policies>
+struct WorkerState {
+  Policies policies;
+  search::SearchWorkspace workspace;
+  gen::GenScratch gen_scratch;
+  graph::Graph graph;
+  bool initialized = false;
+};
 
-template <typename Portfolio, typename RunOne>
-PortfolioCost measure_portfolio(const GraphFactory& factory,
+// MakeGraph: (rng, WorkerState&) -> const Graph&, so plain and
+// scratch-aware factories share the measurement loop.
+template <typename Portfolio, typename RunOne, typename MakeGraph>
+PortfolioCost measure_portfolio(const MakeGraph& make_graph,
                                 const EndpointSelector& endpoints,
                                 std::size_t reps, std::uint64_t seed,
                                 const Portfolio& portfolio_factory,
@@ -31,17 +43,11 @@ PortfolioCost measure_portfolio(const GraphFactory& factory,
   // bit-identical to a sequential loop for any worker count.
   std::vector<std::vector<search::SearchResult>> results(reps);
 
-  // Per-worker reusable state: one search workspace (O(1) reset between
-  // runs) and one portfolio instance (policies fully reset in start()).
-  struct WorkerState {
-    decltype(portfolio_factory()) policies;
-    search::SearchWorkspace workspace;
-    bool initialized = false;
-  };
-  std::vector<WorkerState> workers(resolve_workers(threads));
+  using State = WorkerState<decltype(portfolio_factory())>;
+  std::vector<State> workers(resolve_worker_count(threads));
 
   parallel_for(reps, threads, [&](std::size_t rep, std::size_t worker) {
-    WorkerState& st = workers[worker];
+    State& st = workers[worker];
     if (!st.initialized) {
       st.policies = portfolio_factory();
       st.initialized = true;
@@ -49,7 +55,7 @@ PortfolioCost measure_portfolio(const GraphFactory& factory,
     // One graph per replication, shared by all policies (paired design).
     // Stream tags: 0 = graph, 0xabcdef = endpoints, 0x5ea7c4+i = policy i.
     rng::Rng graph_rng(rng::derive_stream_seed(seed, 0, rep));
-    const graph::Graph g = factory(graph_rng);
+    const graph::Graph& g = make_graph(graph_rng, st);
     rng::Rng endpoint_rng(rng::derive_stream_seed(seed, 0xabcdef, rep));
     const auto [start, target] = endpoints(g, endpoint_rng);
 
@@ -84,8 +90,11 @@ PortfolioCost measure_portfolio(const GraphFactory& factory,
     out.policies[i].name = probe[i]->name();
     out.policies[i].requests = req_acc[i].summary();
     out.policies[i].raw_requests = raw_acc[i].summary();
-    out.policies[i].median_requests = stats::median(req_values[i]);
-    out.policies[i].p90_requests = stats::quantile(req_values[i], 0.9);
+    // Sort once per policy; median and p90 read from the same sorted
+    // sample (stats::median / stats::quantile would each sort a copy).
+    std::sort(req_values[i].begin(), req_values[i].end());
+    out.policies[i].median_requests = stats::quantile_sorted(req_values[i], 0.5);
+    out.policies[i].p90_requests = stats::quantile_sorted(req_values[i], 0.9);
     out.policies[i].found_fraction =
         static_cast<double>(found[i]) / static_cast<double>(reps);
   }
@@ -106,15 +115,34 @@ PortfolioCost measure_portfolio(const GraphFactory& factory,
   return out;
 }
 
-}  // namespace
+// Adapts either factory flavor to the MakeGraph contract. The plain
+// factory's graph is parked in the worker slot too, so both paths hand the
+// measurement loop a stable reference.
+template <typename State>
+const graph::Graph& remake_graph(const GraphFactory& factory, rng::Rng& rng,
+                                 State& st) {
+  st.graph = factory(rng);
+  return st.graph;
+}
 
-PortfolioCost measure_weak_portfolio(const GraphFactory& factory,
-                                     const EndpointSelector& endpoints,
-                                     std::size_t reps, std::uint64_t seed,
-                                     const search::RunBudget& budget,
-                                     std::size_t threads) {
+template <typename State>
+const graph::Graph& remake_graph(const ScratchGraphFactory& factory,
+                                 rng::Rng& rng, State& st) {
+  factory(rng, st.gen_scratch, st.graph);
+  return st.graph;
+}
+
+template <typename Factory>
+PortfolioCost measure_weak_impl(const Factory& factory,
+                                const EndpointSelector& endpoints,
+                                std::size_t reps, std::uint64_t seed,
+                                const search::RunBudget& budget,
+                                std::size_t threads) {
   return measure_portfolio(
-      factory, endpoints, reps, seed, &search::weak_portfolio,
+      [&](rng::Rng& rng, auto& st) -> const graph::Graph& {
+        return remake_graph(factory, rng, st);
+      },
+      endpoints, reps, seed, &search::weak_portfolio,
       [&](const graph::Graph& g, VertexId s, VertexId t,
           search::WeakSearcher& policy, rng::Rng& rng,
           search::SearchWorkspace& ws) {
@@ -123,19 +151,57 @@ PortfolioCost measure_weak_portfolio(const GraphFactory& factory,
       threads);
 }
 
-PortfolioCost measure_strong_portfolio(const GraphFactory& factory,
-                                       const EndpointSelector& endpoints,
-                                       std::size_t reps, std::uint64_t seed,
-                                       const search::RunBudget& budget,
-                                       std::size_t threads) {
+template <typename Factory>
+PortfolioCost measure_strong_impl(const Factory& factory,
+                                  const EndpointSelector& endpoints,
+                                  std::size_t reps, std::uint64_t seed,
+                                  const search::RunBudget& budget,
+                                  std::size_t threads) {
   return measure_portfolio(
-      factory, endpoints, reps, seed, &search::strong_portfolio,
+      [&](rng::Rng& rng, auto& st) -> const graph::Graph& {
+        return remake_graph(factory, rng, st);
+      },
+      endpoints, reps, seed, &search::strong_portfolio,
       [&](const graph::Graph& g, VertexId s, VertexId t,
           search::StrongSearcher& policy, rng::Rng& rng,
           search::SearchWorkspace& ws) {
         return search::run_strong(g, s, t, policy, rng, budget, ws);
       },
       threads);
+}
+
+}  // namespace
+
+PortfolioCost measure_weak_portfolio(const GraphFactory& factory,
+                                     const EndpointSelector& endpoints,
+                                     std::size_t reps, std::uint64_t seed,
+                                     const search::RunBudget& budget,
+                                     std::size_t threads) {
+  return measure_weak_impl(factory, endpoints, reps, seed, budget, threads);
+}
+
+PortfolioCost measure_weak_portfolio(const ScratchGraphFactory& factory,
+                                     const EndpointSelector& endpoints,
+                                     std::size_t reps, std::uint64_t seed,
+                                     const search::RunBudget& budget,
+                                     std::size_t threads) {
+  return measure_weak_impl(factory, endpoints, reps, seed, budget, threads);
+}
+
+PortfolioCost measure_strong_portfolio(const GraphFactory& factory,
+                                       const EndpointSelector& endpoints,
+                                       std::size_t reps, std::uint64_t seed,
+                                       const search::RunBudget& budget,
+                                       std::size_t threads) {
+  return measure_strong_impl(factory, endpoints, reps, seed, budget, threads);
+}
+
+PortfolioCost measure_strong_portfolio(const ScratchGraphFactory& factory,
+                                       const EndpointSelector& endpoints,
+                                       std::size_t reps, std::uint64_t seed,
+                                       const search::RunBudget& budget,
+                                       std::size_t threads) {
+  return measure_strong_impl(factory, endpoints, reps, seed, budget, threads);
 }
 
 EndpointSelector oldest_to_newest() {

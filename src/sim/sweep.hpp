@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "gen/scratch.hpp"
 #include "graph/graph.hpp"
 #include "search/runner.hpp"
 #include "search/strong_algorithms.hpp"
@@ -26,6 +27,14 @@ namespace sfs::sim {
 
 /// Builds one experiment graph from a replication RNG.
 using GraphFactory = std::function<graph::Graph(rng::Rng& rng)>;
+
+/// Scratch-aware factory: regenerates `out` in place from the replication
+/// RNG, recycling the worker's generator scratch and the Graph's own CSR
+/// buffers (use the scratch-taking generator overloads in gen/). The
+/// harness owns one GenScratch + Graph per worker, so a portfolio sweep
+/// allocates nothing per replication in steady state.
+using ScratchGraphFactory = std::function<void(
+    rng::Rng& rng, gen::GenScratch& scratch, graph::Graph& out)>;
 
 /// Picks start/target on a freshly built graph (e.g. "vertex 0" and "last
 /// vertex"). Called per replication.
@@ -69,6 +78,18 @@ struct PortfolioCost {
 /// Same for the strong portfolio (strong_portfolio()).
 [[nodiscard]] PortfolioCost measure_strong_portfolio(
     const GraphFactory& factory, const EndpointSelector& endpoints,
+    std::size_t reps, std::uint64_t seed,
+    const search::RunBudget& budget = {}, std::size_t threads = 1);
+
+/// Scratch-aware variants: identical measurement (same seeds, same fold,
+/// bit-identical PortfolioCost when the factory generates the same graphs)
+/// with zero-realloc graph construction per replication.
+[[nodiscard]] PortfolioCost measure_weak_portfolio(
+    const ScratchGraphFactory& factory, const EndpointSelector& endpoints,
+    std::size_t reps, std::uint64_t seed,
+    const search::RunBudget& budget = {}, std::size_t threads = 1);
+[[nodiscard]] PortfolioCost measure_strong_portfolio(
+    const ScratchGraphFactory& factory, const EndpointSelector& endpoints,
     std::size_t reps, std::uint64_t seed,
     const search::RunBudget& budget = {}, std::size_t threads = 1);
 

@@ -43,10 +43,14 @@ Summary summarize(std::span<const double> xs) {
 }
 
 double quantile(std::span<const double> xs, double q) {
-  SFS_REQUIRE(!xs.empty(), "quantile of empty sample");
-  SFS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile level must be in [0,1]");
   std::vector<double> sorted(xs.begin(), xs.end());
   std::sort(sorted.begin(), sorted.end());
+  return quantile_sorted(sorted, q);
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  SFS_REQUIRE(!sorted.empty(), "quantile of empty sample");
+  SFS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile level must be in [0,1]");
   const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(std::floor(pos));
   const auto hi = static_cast<std::size_t>(std::ceil(pos));

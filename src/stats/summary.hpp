@@ -32,6 +32,11 @@ struct Summary {
 /// need not be sorted (a sorted copy is made).
 [[nodiscard]] double quantile(std::span<const double> xs, double q);
 
+/// Same interpolation over an already ascending-sorted sample — no copy,
+/// no sort. Lets callers that need several quantiles of one sample sort
+/// once and read them all (see the portfolio fold in sim/sweep.cpp).
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q);
+
 /// Median (quantile 0.5).
 [[nodiscard]] double median(std::span<const double> xs);
 

@@ -1,0 +1,333 @@
+// Tests for the reusable generation subsystem (gen::GenScratch): every
+// scratch-taking generator overload must produce graphs bit-identical to
+// the fresh-allocation path (including when the scratch is recycled across
+// shrinking and growing sizes), the builder's overflow guards must reject
+// wrap-around arithmetic, and the harness-level scratch plumbing
+// (sim/sweep, sim/scaling) must be a pure performance transform.
+#include "gen/scratch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "gen/barabasi_albert.hpp"
+#include "gen/config_model.hpp"
+#include "gen/cooper_frieze.hpp"
+#include "gen/degree_sequence.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/kleinberg.hpp"
+#include "gen/mori.hpp"
+#include "graph/builder.hpp"
+#include "sim/scaling.hpp"
+#include "sim/sweep.hpp"
+
+namespace {
+
+using sfs::gen::GenScratch;
+using sfs::graph::Graph;
+using sfs::graph::GraphBuilder;
+using sfs::graph::kNoVertex;
+using sfs::graph::VertexId;
+using sfs::rng::Rng;
+
+void expect_graph_equal(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  // Edge records in construction order determine the whole CSR, but audit
+  // the derived structure too: incidence, adjacency and degrees.
+  const auto ea = a.edges();
+  const auto eb = b.edges();
+  EXPECT_TRUE(std::equal(ea.begin(), ea.end(), eb.begin()));
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    const auto ia = a.incident(v);
+    const auto ib = b.incident(v);
+    ASSERT_EQ(ia.size(), ib.size()) << "vertex " << v;
+    EXPECT_TRUE(std::equal(ia.begin(), ia.end(), ib.begin()));
+    const auto aa = a.adjacent(v);
+    const auto ab = b.adjacent(v);
+    EXPECT_TRUE(std::equal(aa.begin(), aa.end(), ab.begin()));
+    EXPECT_EQ(a.in_degree(v), b.in_degree(v));
+    EXPECT_EQ(a.out_degree(v), b.out_degree(v));
+  }
+}
+
+// ------------------------------------------ scratch == fresh, per generator
+
+TEST(GenScratch, BarabasiAlbertMatchesFresh) {
+  GenScratch scratch;
+  Graph reused;
+  // Growing and shrinking sizes: leftover scratch content must not leak.
+  for (const std::size_t n : {300u, 50u, 500u, 500u, 20u}) {
+    for (const bool distinct : {true, false}) {
+      const sfs::gen::BarabasiAlbertParams params{
+          .m = 3, .distinct_targets = distinct};
+      Rng r1(n + distinct);
+      Rng r2(n + distinct);
+      const Graph fresh = sfs::gen::barabasi_albert(n, params, r1);
+      sfs::gen::barabasi_albert(n, params, r2, scratch, reused);
+      expect_graph_equal(fresh, reused);
+    }
+  }
+}
+
+TEST(GenScratch, ConfigurationModelMatchesFresh) {
+  GenScratch scratch;
+  Graph reused;
+  const sfs::gen::PowerLawSequenceParams seq{.exponent = 2.3, .d_min = 1};
+  for (const std::size_t n : {400u, 80u, 600u}) {
+    for (const bool erase : {false, true}) {
+      const sfs::gen::ConfigModelOptions opts{.erase_defects = erase};
+      Rng r1(7 * n + erase);
+      Rng r2(7 * n + erase);
+      const Graph fresh =
+          sfs::gen::power_law_configuration_graph(n, seq, opts, r1);
+      sfs::gen::power_law_configuration_graph(n, seq, opts, r2, scratch,
+                                              reused);
+      expect_graph_equal(fresh, reused);
+    }
+  }
+}
+
+TEST(GenScratch, CooperFriezeMatchesFresh) {
+  GenScratch scratch;
+  sfs::gen::CooperFriezeGraph reused;
+  sfs::gen::CooperFriezeParams params;
+  params.p = {0.5, 0.5};
+  for (const std::size_t n : {250u, 60u, 400u}) {
+    Rng r1(n);
+    Rng r2(n);
+    const auto fresh = sfs::gen::cooper_frieze(n, params, r1);
+    sfs::gen::cooper_frieze(n, params, r2, scratch, reused);
+    expect_graph_equal(fresh.graph, reused.graph);
+    EXPECT_EQ(fresh.steps, reused.steps);
+    EXPECT_EQ(fresh.birth_order, reused.birth_order);
+  }
+  // The fixed-step entry point shares the scratch machinery.
+  Rng r1(11);
+  Rng r2(11);
+  const auto fresh = sfs::gen::cooper_frieze_steps(300, params, r1);
+  sfs::gen::cooper_frieze_steps(300, params, r2, scratch, reused);
+  expect_graph_equal(fresh.graph, reused.graph);
+  EXPECT_EQ(fresh.steps, reused.steps);
+}
+
+TEST(GenScratch, ErdosRenyiMatchesFresh) {
+  GenScratch scratch;
+  Graph reused;
+  for (const std::size_t n : {200u, 40u, 350u}) {
+    Rng r1(n);
+    Rng r2(n);
+    const Graph fresh = sfs::gen::erdos_renyi_gnm(n, 3 * n, r1);
+    sfs::gen::erdos_renyi_gnm(n, 3 * n, r2, scratch, reused);
+    expect_graph_equal(fresh, reused);
+
+    Rng r3(n ^ 0xabc);
+    Rng r4(n ^ 0xabc);
+    const Graph fresh_p = sfs::gen::erdos_renyi_gnp(n, 0.02, r3);
+    sfs::gen::erdos_renyi_gnp(n, 0.02, r4, scratch, reused);
+    expect_graph_equal(fresh_p, reused);
+  }
+}
+
+TEST(GenScratch, KleinbergMatchesFresh) {
+  GenScratch scratch;
+  const sfs::gen::KleinbergParams params{.r = 2.0, .q = 2};
+  // Scratch constructor and in-place rebuild both match a fresh grid.
+  Rng r0(1);
+  sfs::gen::KleinbergGrid reused(8, params, r0, scratch);
+  {
+    Rng r1(1);
+    Rng r2(1);
+    const sfs::gen::KleinbergGrid fresh(8, params, r1);
+    sfs::gen::KleinbergGrid scratch_built(8, params, r2, scratch);
+    expect_graph_equal(fresh.graph(), scratch_built.graph());
+  }
+  for (const std::size_t L : {12u, 5u, 16u}) {
+    Rng r1(L);
+    Rng r2(L);
+    const sfs::gen::KleinbergGrid fresh(L, params, r1);
+    reused.rebuild(L, params, r2, scratch);
+    EXPECT_EQ(reused.side(), L);
+    expect_graph_equal(fresh.graph(), reused.graph());
+  }
+}
+
+TEST(GenScratch, MoriMatchesFresh) {
+  GenScratch scratch;
+  Graph reused;
+  for (const std::size_t n : {300u, 50u, 450u}) {
+    Rng r1(n);
+    Rng r2(n);
+    const Graph fresh = sfs::gen::mori_tree(n, sfs::gen::MoriParams{0.5}, r1);
+    sfs::gen::mori_tree(n, sfs::gen::MoriParams{0.5}, r2, scratch, reused);
+    expect_graph_equal(fresh, reused);
+
+    Rng r3(n ^ 0x77);
+    Rng r4(n ^ 0x77);
+    const Graph fresh_m =
+        sfs::gen::merged_mori_graph(n, 3, sfs::gen::MoriParams{0.6}, r3);
+    sfs::gen::merged_mori_graph(n, 3, sfs::gen::MoriParams{0.6}, r4, scratch,
+                                reused);
+    expect_graph_equal(fresh_m, reused);
+  }
+}
+
+TEST(GenScratch, DegreeSequenceMatchesFresh) {
+  std::vector<std::uint32_t> reused;
+  const sfs::gen::PowerLawSequenceParams params{.exponent = 2.5, .d_min = 2};
+  for (const std::size_t n : {500u, 100u, 800u}) {
+    Rng r1(n);
+    Rng r2(n);
+    const auto fresh = sfs::gen::power_law_degree_sequence(n, params, r1);
+    sfs::gen::power_law_degree_sequence(n, params, r2, reused);
+    EXPECT_EQ(fresh, reused);
+  }
+}
+
+// --------------------------------------------------- overflow hardening
+
+TEST(GraphBuilderOverflow, AddVerticesRejectsWrapAroundCount) {
+  GraphBuilder b;
+  (void)b.add_vertices(5);
+  // 5 + (SIZE_MAX - 2) wraps to 2 < kNoVertex, so the old additive guard
+  // passed; the subtraction form must reject it.
+  EXPECT_THROW((void)b.add_vertices(std::numeric_limits<std::size_t>::max() - 2),
+               std::invalid_argument);
+  // Sane growth still works and ids stay contiguous.
+  EXPECT_EQ(b.add_vertices(3), 5u);
+  EXPECT_EQ(b.num_vertices(), 8u);
+  // Directly over the id range, no wrap involved.
+  EXPECT_THROW((void)b.add_vertices(static_cast<std::size_t>(kNoVertex)),
+               std::invalid_argument);
+}
+
+TEST(GraphBuilderOverflow, ConstructorAndResetRejectOverflowingCounts) {
+  EXPECT_THROW(GraphBuilder(std::numeric_limits<std::size_t>::max()),
+               std::invalid_argument);
+  GraphBuilder b;
+  EXPECT_THROW(b.reset(static_cast<std::size_t>(kNoVertex) + 1),
+               std::invalid_argument);
+}
+
+TEST(GraphBuilderOverflow, BarabasiAlbertRejectsOverflowingReserveMath) {
+  // (n - 1) * m wraps in size_t; the checked multiplication must throw
+  // instead of silently under-reserving (or building a bogus graph).
+  Rng rng(1);
+  const sfs::gen::BarabasiAlbertParams params{.m = 16};
+  EXPECT_THROW((void)sfs::gen::barabasi_albert(
+                   std::numeric_limits<std::size_t>::max() / 2, params, rng),
+               std::invalid_argument);
+}
+
+// -------------------------------------------- scaling seed stream fix
+
+TEST(ScalingSeeds, NearbySeedsDoNotAliasAcrossSizeIndices) {
+  // Under the old derivation (point seed = mix64(seed ^ (0x9e37 + i))) two
+  // experiments whose seeds differ by (0x9e37+i1) ^ (0x9e37+i2) — 0x0F for
+  // adjacent indices — received identical replication streams at shifted
+  // size indices. The tempered stream tags must keep them fully disjoint.
+  auto capture = [](std::uint64_t seed) {
+    std::vector<std::uint64_t> cell_seeds;
+    (void)sfs::sim::measure_scaling(
+        {10, 20, 30}, 4, seed,
+        [&](std::size_t, std::uint64_t s) {
+          cell_seeds.push_back(s);
+          return 1.0;
+        },
+        /*threads=*/1);
+    return cell_seeds;
+  };
+  const auto a = capture(7);
+  const auto b = capture(7 ^ 0x0F);
+  const std::set<std::uint64_t> sa(a.begin(), a.end());
+  EXPECT_EQ(sa.size(), a.size());  // distinct within one experiment
+  for (const std::uint64_t s : b) {
+    EXPECT_EQ(sa.count(s), 0u) << "seed stream shared across experiments";
+  }
+}
+
+// ------------------------------------- harness-level scratch plumbing
+
+void expect_identical_cost(const sfs::sim::PortfolioCost& a,
+                           const sfs::sim::PortfolioCost& b) {
+  ASSERT_EQ(a.policies.size(), b.policies.size());
+  EXPECT_EQ(a.best, b.best);
+  for (std::size_t i = 0; i < a.policies.size(); ++i) {
+    const auto& pa = a.policies[i];
+    const auto& pb = b.policies[i];
+    EXPECT_EQ(pa.name, pb.name);
+    EXPECT_EQ(pa.requests.mean, pb.requests.mean) << pa.name;
+    EXPECT_EQ(pa.requests.stddev, pb.requests.stddev) << pa.name;
+    EXPECT_EQ(pa.raw_requests.mean, pb.raw_requests.mean) << pa.name;
+    EXPECT_EQ(pa.median_requests, pb.median_requests) << pa.name;
+    EXPECT_EQ(pa.p90_requests, pb.p90_requests) << pa.name;
+    EXPECT_EQ(pa.found_fraction, pb.found_fraction) << pa.name;
+  }
+}
+
+TEST(SweepScratchFactory, WeakPortfolioMatchesPlainFactory) {
+  const auto budget = sfs::search::RunBudget{.max_raw_requests = 200000};
+  const sfs::sim::GraphFactory plain = [](Rng& rng) {
+    return sfs::gen::merged_mori_graph(80, 2, sfs::gen::MoriParams{0.5}, rng);
+  };
+  const sfs::sim::ScratchGraphFactory reusing =
+      [](Rng& rng, GenScratch& scratch, Graph& out) {
+        sfs::gen::merged_mori_graph(80, 2, sfs::gen::MoriParams{0.5}, rng,
+                                    scratch, out);
+      };
+  const auto a = sfs::sim::measure_weak_portfolio(
+      plain, sfs::sim::oldest_to_newest(), 8, 21, budget, /*threads=*/1);
+  const auto b = sfs::sim::measure_weak_portfolio(
+      reusing, sfs::sim::oldest_to_newest(), 8, 21, budget, /*threads=*/1);
+  expect_identical_cost(a, b);
+  // And the scratch path stays bit-identical under parallel fan-out.
+  const auto c = sfs::sim::measure_weak_portfolio(
+      reusing, sfs::sim::oldest_to_newest(), 8, 21, budget, /*threads=*/4);
+  expect_identical_cost(a, c);
+}
+
+TEST(SweepScratchFactory, StrongPortfolioMatchesPlainFactory) {
+  const sfs::sim::GraphFactory plain = [](Rng& rng) {
+    return sfs::gen::mori_tree(120, sfs::gen::MoriParams{0.4}, rng);
+  };
+  const sfs::sim::ScratchGraphFactory reusing =
+      [](Rng& rng, GenScratch& scratch, Graph& out) {
+        sfs::gen::mori_tree(120, sfs::gen::MoriParams{0.4}, rng, scratch, out);
+      };
+  const auto a = sfs::sim::measure_strong_portfolio(
+      plain, sfs::sim::oldest_to_newest(), 6, 9, {}, /*threads=*/1);
+  const auto b = sfs::sim::measure_strong_portfolio(
+      reusing, sfs::sim::oldest_to_newest(), 6, 9, {}, /*threads=*/3);
+  expect_identical_cost(a, b);
+}
+
+TEST(ScalingScratchOverload, MatchesPlainOverload) {
+  const std::vector<std::size_t> sizes{30, 60, 120};
+  const auto plain = [](std::size_t n, std::uint64_t seed) {
+    Rng rng(seed);
+    const Graph g = sfs::gen::mori_tree(n, sfs::gen::MoriParams{0.5}, rng);
+    return static_cast<double>(g.num_edges());
+  };
+  const auto reusing = [](std::size_t n, std::uint64_t seed,
+                          GenScratch& scratch) {
+    Rng rng(seed);
+    Graph g;
+    sfs::gen::mori_tree(n, sfs::gen::MoriParams{0.5}, rng, scratch, g);
+    return static_cast<double>(g.num_edges());
+  };
+  const auto a = sfs::sim::measure_scaling(sizes, 5, 31, plain, /*threads=*/1);
+  const auto b =
+      sfs::sim::measure_scaling(sizes, 5, 31, reusing, /*threads=*/4);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].raw, b.points[i].raw);
+    EXPECT_EQ(a.points[i].summary.mean, b.points[i].summary.mean);
+  }
+  EXPECT_EQ(a.fit.slope, b.fit.slope);
+}
+
+}  // namespace
