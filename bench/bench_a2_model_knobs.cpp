@@ -12,6 +12,7 @@
 //    rescue searchability.
 #include <iostream>
 
+#include "base/check.hpp"
 #include "gen/cooper_frieze.hpp"
 #include "gen/mori.hpp"
 #include "sim/scaling.hpp"
@@ -39,6 +40,8 @@ double fitted_exponent(const std::function<sfs::sim::GraphFactory(
         return best_cost(factory_at(n), n, s);
       },
       /*threads=*/0);
+  // The no-fit contract: never quote the default slope 0.0 as measured.
+  SFS_REQUIRE(series.has_fit(), "A2: no usable exponent fit");
   return series.fit.slope;
 }
 

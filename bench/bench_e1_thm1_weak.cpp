@@ -6,7 +6,18 @@
 // each policy's mean cost at the largest n, the portfolio-best cost per n,
 // and the fitted scaling exponent of the best cost (theory: >= 0.5, since
 // even the best algorithm is lower-bounded).
+//
+// Modes:
+//   (default)            the conservative seed-size sweep over all (p, m)
+//   --large              geometric grid to n = 2,097,152 (>= 2e6) at
+//                        p=0.5, m=1 with bootstrap CI on the exponent,
+//                        scratch-reusing generation and the shared pool
+//   --large --quick      small smoke version of the same code path (CI)
+//   --checkpoint <path>  stream (n, rep, value) cells to <path> and
+//                        resume from it (large mode); interrupt with ^C
+//                        and rerun to continue where it stopped
 #include <iostream>
+#include <string>
 
 #include "bench_util.hpp"
 #include "core/theory.hpp"
@@ -71,13 +82,59 @@ void run_config(double p, std::size_t m) {
   std::cout << '\n';
 }
 
+// Large-n mode: the ROADMAP "push the Theorem 1 sweeps past n = 10^6"
+// study. One (p, m) configuration, geometric grid to >= 2e6 vertices,
+// bootstrap CI on the fitted exponent, per-worker generator scratch, and
+// optional checkpoint/resume for multi-hour grids.
+int run_large(const sfs::bench::LargeModeArgs& args) {
+  const double p = 0.5;
+  const std::size_t m = 1;
+  const auto plan = sfs::bench::plan_large_run(args);
+
+  sfs::bench::WallTimer timer;
+  const std::function<double(std::size_t, std::uint64_t,
+                             sfs::gen::GenScratch&)>
+      measure = [&](std::size_t n, std::uint64_t seed,
+                    sfs::gen::GenScratch& scratch) {
+        const auto cost = sfs::sim::measure_weak_portfolio(
+            sfs::sim::ScratchGraphFactory(
+                [&scratch, n, m, p](Rng& rng, sfs::gen::GenScratch&,
+                                    Graph& out) {
+                  // The inner portfolio runs sequentially inside this
+                  // cell, so reusing the sweep-level per-worker scratch
+                  // (instead of the portfolio's own, fresh per cell)
+                  // keeps generator buffers warm across the whole grid.
+                  sfs::gen::merged_mori_graph(n, m, sfs::gen::MoriParams{p},
+                                              rng, scratch, out);
+                }),
+            sfs::sim::oldest_to_newest(), 1, seed,
+            sfs::search::RunBudget{.max_raw_requests = 40 * n},
+            /*threads=*/1);
+        return cost.best_policy().requests.mean;
+      };
+  const auto series = sfs::sim::measure_scaling(plan.sizes, plan.reps,
+                                                0x1A26E1, measure,
+                                                plan.options);
+  return sfs::bench::report_large_run(
+      "E1 large: weak-model requests to find vertex n, Mori p=" +
+          sfs::sim::format_double(p, 2) + " m=" + std::to_string(m) +
+          (args.quick ? " (quick)" : ""),
+      plan, series, "best requests",
+      sfs::core::theory::weak_lower_bound_exponent(), "Omega exponent",
+      timer.seconds());
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sfs::bench::LargeModeArgs args;
+  if (!sfs::bench::parse_large_mode_args(argc, argv, args)) return 2;
+
   std::cout << "Theorem 1 (weak model): expected requests = Omega(sqrt(n)) "
                "for ALL weak-model algorithms.\n"
                "Empirical stand-in for 'all algorithms': min over an "
                "8-policy portfolio.\n\n";
+  if (args.large) return run_large(args);
   for (const double p : {0.25, 0.5, 0.75, 1.0}) run_config(p, 1);
   run_config(0.5, 2);
   run_config(0.5, 4);

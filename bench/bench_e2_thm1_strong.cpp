@@ -5,7 +5,16 @@
 //
 // Regenerates: per-p sweep of n with the strong portfolio; fitted exponent
 // of the portfolio-best cost against the theory floor 1/2 - p.
+//
+// Modes (same shape as bench_e1):
+//   (default)            the conservative seed-size sweep over all p
+//   --large              geometric grid to n = 2,097,152 at p=0.25 with a
+//                        bootstrap CI on the exponent, scratch-reusing
+//                        generation and the shared pool
+//   --large --quick      small smoke version of the same code path (CI)
+//   --checkpoint <path>  stream/resume cells through <path> (large mode)
 #include <iostream>
+#include <string>
 
 #include "bench_util.hpp"
 #include "core/theory.hpp"
@@ -14,6 +23,7 @@
 
 namespace {
 
+using sfs::graph::Graph;
 using sfs::rng::Rng;
 
 void run_p(double p) {
@@ -60,13 +70,54 @@ void run_p(double p) {
   std::cout << '\n';
 }
 
+// Large-n mode (ROADMAP "push the Theorem 1 sweeps past n = 10^6"): one
+// p in the non-trivial regime p < 1/2, geometric grid to >= 2e6 vertices,
+// bootstrap CI on the exponent, per-worker generator scratch, optional
+// checkpoint/resume.
+int run_large(const sfs::bench::LargeModeArgs& args) {
+  const double p = 0.25;
+  const auto plan = sfs::bench::plan_large_run(args);
+
+  sfs::bench::WallTimer timer;
+  const std::function<double(std::size_t, std::uint64_t,
+                             sfs::gen::GenScratch&)>
+      measure = [&](std::size_t n, std::uint64_t seed,
+                    sfs::gen::GenScratch& scratch) {
+        const auto cost = sfs::sim::measure_strong_portfolio(
+            sfs::sim::ScratchGraphFactory(
+                [&scratch, n, p](Rng& rng, sfs::gen::GenScratch&,
+                                 Graph& out) {
+                  // Sequential inner portfolio: reuse the sweep-level
+                  // per-worker scratch across the whole grid.
+                  sfs::gen::mori_tree(n, sfs::gen::MoriParams{p}, rng,
+                                      scratch, out);
+                }),
+            sfs::sim::oldest_to_newest(), 1, seed, sfs::search::RunBudget{},
+            /*threads=*/1);
+        return cost.best_policy().requests.mean;
+      };
+  const auto series = sfs::sim::measure_scaling(plan.sizes, plan.reps,
+                                                0x1A26E2, measure,
+                                                plan.options);
+  return sfs::bench::report_large_run(
+      "E2 large: strong-model requests to find vertex n, Mori p=" +
+          sfs::sim::format_double(p, 2) + (args.quick ? " (quick)" : ""),
+      plan, series, "best requests",
+      sfs::core::theory::strong_lower_bound_exponent(p),
+      "Omega exponent 1/2-p", timer.seconds());
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sfs::bench::LargeModeArgs args;
+  if (!sfs::bench::parse_large_mode_args(argc, argv, args)) return 2;
+
   std::cout << "Theorem 1 (strong model): expected requests = "
                "Omega(n^{1/2-p-eps}) for p < 1/2.\n"
                "Note the weakening as p grows: one strong request on a hub "
                "of degree ~t^p reveals t^p vertices at once.\n\n";
+  if (args.large) return run_large(args);
   for (const double p : {0.1, 0.25, 0.4}) run_p(p);
   // Control: at p >= 1/2 the bound is trivial (exponent 0); the measured
   // cost may still grow, but the theorem no longer promises anything.

@@ -8,8 +8,10 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "sim/scaling.hpp"
 #include "sim/table.hpp"
@@ -77,9 +79,44 @@ inline void emit_json_line(const std::string& name, std::size_t n,
       << "}\n";
 }
 
+/// Emits the fitted-exponent companion line to the per-point records:
+///   BENCH_JSON {"bench":...,"kind":"fit","slope":...,"slope_stderr":...,
+///               "r2":...,"wslope":...,"wslope_stderr":...,"ci_lo":...,
+///               "ci_hi":...,"ci_reps":...,"points":...,"excluded":...}
+/// The CI fields are null when no bootstrap CI was computed, and the
+/// whole slope block is null when the series has no usable fit.
+inline void emit_fit_json_line(const std::string& name,
+                               const sim::ScalingSeries& series,
+                               std::ostream& out = std::cout) {
+  const bool has_ci = series.slope_ci.replicates > 0;
+  out << "BENCH_JSON {\"bench\":\"" << detail::json_escape(name)
+      << "\",\"kind\":\"fit\"";
+  if (series.has_fit()) {
+    out << ",\"slope\":" << detail::json_num(series.fit.slope)
+        << ",\"slope_stderr\":" << detail::json_num(series.fit.slope_stderr)
+        << ",\"r2\":" << detail::json_num(series.fit.r_squared)
+        << ",\"wslope\":" << detail::json_num(series.weighted_fit.slope)
+        << ",\"wslope_stderr\":"
+        << detail::json_num(series.weighted_fit.slope_stderr);
+  } else {
+    out << ",\"slope\":null,\"slope_stderr\":null,\"r2\":null,"
+           "\"wslope\":null,\"wslope_stderr\":null";
+  }
+  out << ",\"ci_lo\":"
+      << (has_ci ? detail::json_num(series.slope_ci.lo) : std::string("null"))
+      << ",\"ci_hi\":"
+      << (has_ci ? detail::json_num(series.slope_ci.hi) : std::string("null"))
+      << ",\"ci_reps\":" << series.slope_ci.replicates
+      << ",\"points\":" << series.points.size()
+      << ",\"excluded\":" << series.excluded.size() << "}\n";
+}
+
 /// Prints a ScalingSeries as a table with a fitted-slope footer comparing
 /// against a theoretical exponent, plus one BENCH_JSON line per sweep
-/// point (wall time unmeasured at this granularity).
+/// point (wall time unmeasured at this granularity) and one "fit" line.
+/// Honors the no-fit contract: a series where has_fit() is false reports
+/// "no usable fit" instead of quoting the meaningless default slope, and
+/// points excluded from the fit are always listed.
 inline void print_scaling(const std::string& title,
                           const sim::ScalingSeries& series,
                           const std::string& quantity, double theory_slope,
@@ -94,15 +131,123 @@ inline void print_scaling(const std::string& title,
         .num(pt.summary.max, 1);
   }
   t.print(std::cout);
-  std::cout << "fitted exponent: " << sim::format_double(series.fit.slope, 3)
-            << " +/- " << sim::format_double(series.fit.slope_stderr, 3)
-            << "  (R^2 " << sim::format_double(series.fit.r_squared, 3)
-            << ")   theory " << theory_label << ": "
-            << sim::format_double(theory_slope, 3) << "\n\n";
+  if (series.has_fit()) {
+    std::cout << "fitted exponent: " << sim::format_double(series.fit.slope, 3)
+              << " +/- " << sim::format_double(series.fit.slope_stderr, 3);
+    if (series.slope_ci.replicates > 0) {
+      std::cout << "  [boot " << sim::format_double(series.slope_ci.lo, 3)
+                << ", " << sim::format_double(series.slope_ci.hi, 3) << "]";
+    }
+    std::cout << "  (R^2 " << sim::format_double(series.fit.r_squared, 3)
+              << ", weighted " << sim::format_double(series.weighted_fit.slope, 3)
+              << " +/- "
+              << sim::format_double(series.weighted_fit.slope_stderr, 3)
+              << ")   theory " << theory_label << ": "
+              << sim::format_double(theory_slope, 3) << "\n";
+  } else {
+    std::cout << "no usable fit (" << (series.points.size() -
+                                       series.excluded.size())
+              << " fittable points)   theory " << theory_label << ": "
+              << sim::format_double(theory_slope, 3) << "\n";
+  }
+  if (!series.excluded.empty()) {
+    std::cout << "excluded from fit (non-positive mean):";
+    for (const std::size_t n : series.excluded) std::cout << " n=" << n;
+    std::cout << "\n";
+  }
+  std::cout << "\n";
   for (const auto& pt : series.points) {
     emit_json_line(title, pt.n, pt.summary.count, pt.summary.mean,
                    pt.summary.stderr_mean, /*wall_seconds=*/-1.0);
   }
+  emit_fit_json_line(title, series);
+}
+
+/// Command-line shape shared by the large-n scaling benches (e1/e2):
+///   [--large [--quick] [--checkpoint <path>]]
+struct LargeModeArgs {
+  bool large = false;
+  bool quick = false;
+  std::string checkpoint_path;
+};
+
+/// Parses the shared flags; returns false (after printing usage) on an
+/// unknown argument.
+inline bool parse_large_mode_args(int argc, char** argv, LargeModeArgs& out) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--large") == 0) {
+      out.large = true;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      out.quick = true;
+    } else if (std::strcmp(argv[i], "--checkpoint") == 0 && i + 1 < argc) {
+      out.checkpoint_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--large [--quick] [--checkpoint <path>]]\n";
+      return false;
+    }
+  }
+  // --quick/--checkpoint only affect large mode; silently ignoring them
+  // without --large would e.g. run a long sweep with no checkpointing the
+  // user explicitly asked for.
+  if (!out.large && (out.quick || !out.checkpoint_path.empty())) {
+    std::cerr << "usage: " << argv[0]
+              << " [--large [--quick] [--checkpoint <path>]]\n"
+              << "(--quick/--checkpoint require --large)\n";
+    return false;
+  }
+  return true;
+}
+
+/// The shared grid/options plan of a --large run: geometric grid to
+/// n = 2,097,152 (>= 2e6) with 3 reps and a 400-replicate bootstrap CI —
+/// or a small smoke grid through the same code path under --quick —
+/// fanned out on the shared pool, with optional checkpoint/resume.
+struct LargeRunPlan {
+  std::vector<std::size_t> sizes;
+  std::size_t reps = 0;
+  sim::ScalingOptions options;
+};
+
+inline LargeRunPlan plan_large_run(const LargeModeArgs& args) {
+  LargeRunPlan plan;
+  plan.sizes = args.quick ? sim::geometric_sizes(4096, 16384, 3)
+                          : sim::geometric_sizes(65536, 2097152, 6);
+  plan.reps = args.quick ? 2 : 3;
+  plan.options.threads = 0;  // shared pool; measure lambdas must be
+                             // thread-safe
+  plan.options.checkpoint_path = args.checkpoint_path;
+  plan.options.bootstrap_replicates = args.quick ? 100 : 400;
+  return plan;
+}
+
+/// Prints a finished --large series plus the grid/wall footer, then
+/// enforces the large-mode result contract: a usable exponent fit
+/// (has_fit()) with a computed bootstrap CI. Returns the process exit
+/// code — the contract failing is exit 1, so CI catches a sweep that
+/// silently degraded into a non-measurement.
+inline int report_large_run(const std::string& title,
+                            const LargeRunPlan& plan,
+                            const sim::ScalingSeries& series,
+                            const std::string& quantity, double theory_slope,
+                            const std::string& theory_label,
+                            double wall_seconds) {
+  print_scaling(title, series, quantity, theory_slope, theory_label);
+  std::cout << "grid " << plan.sizes.front() << " .. " << plan.sizes.back()
+            << " (" << plan.sizes.size() << " sizes x " << plan.reps
+            << " reps), wall " << sim::format_double(wall_seconds, 1)
+            << " s\n";
+  if (!series.has_fit()) {
+    std::cerr << title << ": no usable exponent fit ("
+              << series.excluded.size() << " of " << series.points.size()
+              << " points excluded)\n";
+    return 1;
+  }
+  if (series.slope_ci.replicates == 0) {
+    std::cerr << title << ": bootstrap CI could not be computed\n";
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace sfs::bench

@@ -4,6 +4,14 @@
 
 namespace sfs::graph {
 
+void validate_edge_capacity(std::size_t num_edges) {
+  SFS_REQUIRE(num_edges <= static_cast<std::size_t>(kNoEdge),
+              "edge count does not fit EdgeId (kNoEdge is a sentinel)");
+  // Each edge occupies two incidence slots; on 32-bit size_t hosts 2m can
+  // wrap before the EdgeId bound above trips.
+  (void)checked_mul(num_edges, 2, "incidence slot count 2m");
+}
+
 void GraphBuilder::reset(std::size_t n) {
   SFS_REQUIRE(n <= static_cast<std::size_t>(kNoVertex),
               "vertex count overflow");
@@ -43,6 +51,7 @@ Graph GraphBuilder::build() {
 
 void GraphBuilder::build_into(Graph& g) {
   const std::size_t n = num_vertices_;
+  validate_edge_capacity(edges_.size());
   // Swap rather than move: the builder inherits g's previous edge buffer
   // (sized for the last replication), so the next reset + add_edge cycle
   // reuses it.

@@ -14,6 +14,15 @@
 
 namespace sfs::graph {
 
+/// Throws std::invalid_argument unless a graph with `num_edges` edges can
+/// be finalized: every edge id must fit EdgeId (std::uint32_t, with
+/// kNoEdge reserved as a sentinel) and the 2m undirected incidence slots
+/// must be computable without size_t wrap-around. add_edge enforces this
+/// incrementally; build_into re-checks the whole count so the CSR arrays
+/// can never be sized from a wrapped value, and high-degree generators can
+/// pre-validate a planned edge count before paying for construction.
+void validate_edge_capacity(std::size_t num_edges);
+
 class GraphBuilder {
  public:
   GraphBuilder() = default;

@@ -1,0 +1,86 @@
+// Debug recorder for the seed-derivation discipline (docs/PERF.md).
+//
+// Every Monte-Carlo harness derives each replication's RNG streams as a
+// pure function (experiment seed, stream tag, rep) -> derived seed via
+// rng::derive_stream_seed. Two *different* triples mapping to the same
+// derived seed would silently correlate measurements that the statistics
+// assume independent — exactly the bug class the PR 2 mix64-tempering fix
+// closed for scaling sweeps. This audit makes that failure loud: when
+// enabled, the harnesses route every derivation through
+// audited_stream_seed(), which records the triple -> seed mapping in a
+// process-wide table and throws std::logic_error the moment two distinct
+// triples collide on one derived seed.
+//
+// Enabling: set the environment variable SFS_RNG_AUDIT to a non-empty
+// value other than "0" before the first derivation, or call
+// StreamAudit::instance().set_enabled(true) programmatically (tests do).
+// Disabled (the default), audited_stream_seed() costs one relaxed atomic
+// load over plain derive_stream_seed. The table grows by one entry per
+// distinct derivation, so the audit is a debug mode, not a production
+// default.
+//
+// Re-recording the *same* triple -> seed mapping is idempotent and legal:
+// repeated harness calls in one process replay their streams. Note the
+// audit sees only derivations actually performed in this process — a
+// checkpoint-resumed sweep derives seeds just for the cells it computes,
+// so cells restored from the checkpoint are not re-checked.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace sfs::rng {
+
+/// The domain of one stream derivation.
+struct StreamTriple {
+  std::uint64_t seed = 0;    // experiment seed
+  std::uint64_t stream = 0;  // stream tag (0 = graph, ... see docs/PERF.md)
+  std::uint64_t rep = 0;     // replication index
+
+  friend bool operator==(const StreamTriple&, const StreamTriple&) = default;
+};
+
+/// Process-wide collision-detecting recorder of stream derivations.
+/// Thread-safe: harness workers record concurrently.
+class StreamAudit {
+ public:
+  /// The process-wide instance. First use reads SFS_RNG_AUDIT to set the
+  /// initial enabled state.
+  [[nodiscard]] static StreamAudit& instance();
+
+  [[nodiscard]] bool enabled() const noexcept;
+  void set_enabled(bool on) noexcept;
+
+  /// Drops every recorded mapping (enabled state unchanged).
+  void reset();
+
+  /// Records triple -> derived. Throws std::logic_error if `derived` was
+  /// previously recorded for a *different* triple; recording the same
+  /// mapping again is a no-op.
+  void record(const StreamTriple& triple, std::uint64_t derived);
+
+  /// Number of distinct derivations recorded so far.
+  [[nodiscard]] std::size_t recorded_count() const;
+
+  /// Writes every recorded mapping as CSV rows
+  /// (seed,stream,rep,derived_seed), sorted by derived seed.
+  void dump(std::ostream& out) const;
+
+ private:
+  StreamAudit();
+  ~StreamAudit();
+  StreamAudit(const StreamAudit&) = delete;
+  StreamAudit& operator=(const StreamAudit&) = delete;
+
+  struct Impl;
+  Impl* impl_;
+};
+
+/// derive_stream_seed + record-if-audit-enabled. The replication harnesses
+/// (sim/sweep, sim/scaling) call this instead of derive_stream_seed so a
+/// sweep run under SFS_RNG_AUDIT=1 verifies its whole stream plan.
+[[nodiscard]] std::uint64_t audited_stream_seed(std::uint64_t experiment_seed,
+                                                std::uint64_t stream,
+                                                std::uint64_t rep);
+
+}  // namespace sfs::rng

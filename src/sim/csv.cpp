@@ -25,4 +25,43 @@ void write_csv_row(std::ostream& out, const std::vector<std::string>& fields) {
   out << '\n';
 }
 
+bool parse_csv_row(const std::string& line, std::vector<std::string>& fields) {
+  fields.clear();
+  std::string field;
+  std::size_t i = 0;
+  const std::size_t n = line.size();
+  while (true) {
+    field.clear();
+    if (i < n && line[i] == '"') {
+      // Quoted field: runs to the matching close quote; "" is a literal ".
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (line[i] == '"') {
+          if (i + 1 < n && line[i + 1] == '"') {
+            field += '"';
+            i += 2;
+          } else {
+            ++i;
+            closed = true;
+            break;
+          }
+        } else {
+          field += line[i++];
+        }
+      }
+      if (!closed) return false;
+      if (i < n && line[i] != ',') return false;
+    } else {
+      while (i < n && line[i] != ',') {
+        if (line[i] == '"') return false;  // bare quote mid-field
+        field += line[i++];
+      }
+    }
+    fields.push_back(field);
+    if (i >= n) return true;
+    ++i;  // skip the comma; a trailing comma yields a final empty field
+  }
+}
+
 }  // namespace sfs::sim

@@ -1,5 +1,6 @@
-// Minimal RFC-4180 CSV emission, for piping experiment output into plotting
-// tools.
+// Minimal RFC-4180 CSV emission and parsing: emission for piping
+// experiment output into plotting tools, parsing for reading back the
+// checkpoint files the scaling harness streams (sim/scaling.hpp).
 #pragma once
 
 #include <iosfwd>
@@ -13,5 +14,14 @@ namespace sfs::sim {
 
 /// Writes one CSV row (fields joined by commas, terminated by '\n').
 void write_csv_row(std::ostream& out, const std::vector<std::string>& fields);
+
+/// Parses one CSV line (no trailing newline) back into fields, undoing
+/// csv_escape: quoted fields may contain commas and doubled quotes.
+/// Returns false (leaving `fields` in an unspecified state) when the line
+/// is malformed — an unterminated quoted field or garbage after a closing
+/// quote — which is how the checkpoint reader detects a record that was
+/// cut off mid-write.
+[[nodiscard]] bool parse_csv_row(const std::string& line,
+                                 std::vector<std::string>& fields);
 
 }  // namespace sfs::sim

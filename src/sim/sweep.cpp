@@ -5,6 +5,7 @@
 
 #include "base/check.hpp"
 #include "rng/random.hpp"
+#include "rng/stream_audit.hpp"
 #include "sim/parallel.hpp"
 
 namespace sfs::sim {
@@ -53,16 +54,26 @@ PortfolioCost measure_portfolio(const MakeGraph& make_graph,
       st.initialized = true;
     }
     // One graph per replication, shared by all policies (paired design).
-    // Stream tags: 0 = graph, 0xabcdef = endpoints, 0x5ea7c4+i = policy i.
-    rng::Rng graph_rng(rng::derive_stream_seed(seed, 0, rep));
+    // Stream tags: 0 = graph — untempered, because stream 0 must stay
+    // equal to derive_seed(seed, rep) (see rng/random.cpp); the endpoint
+    // tag 0xabcdef and per-policy tags 0x5ea7c4+i are tempered through
+    // mix64 like sim/scaling's size tags, because raw XOR tags alias
+    // across experiments whose seeds differ by a small XOR delta — the
+    // stream audit caught exactly that in-tree: seeds 17 and 29 (delta
+    // 0x0c) shared policy streams 0x5ea7c4+4 and 0x5ea7c4+0.
+    // Derivations go through the audited wrapper so a sweep run under
+    // SFS_RNG_AUDIT=1 fails fast on stream collisions (rng/stream_audit).
+    rng::Rng graph_rng(rng::audited_stream_seed(seed, 0, rep));
     const graph::Graph& g = make_graph(graph_rng, st);
-    rng::Rng endpoint_rng(rng::derive_stream_seed(seed, 0xabcdef, rep));
+    rng::Rng endpoint_rng(
+        rng::audited_stream_seed(seed, rng::mix64(0xabcdef), rep));
     const auto [start, target] = endpoints(g, endpoint_rng);
 
     auto& row = results[rep];
     row.resize(num_policies);
     for (std::size_t i = 0; i < num_policies; ++i) {
-      rng::Rng search_rng(rng::derive_stream_seed(seed, 0x5ea7c4 + i, rep));
+      rng::Rng search_rng(
+          rng::audited_stream_seed(seed, rng::mix64(0x5ea7c4 + i), rep));
       row[i] = run_one(g, start, target, *st.policies[i], search_rng,
                        st.workspace);
     }

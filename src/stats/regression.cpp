@@ -7,56 +7,84 @@
 
 namespace sfs::stats {
 
-LinearFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+namespace {
+
+// Shared weighted-OLS core: fit_line is the weights-all-one special case.
+// Weight-0 points are excluded from every sum (and from `count`).
+LinearFit fit_core(std::span<const double> xs, std::span<const double> ys,
+                   const double* weights) {
   SFS_REQUIRE(xs.size() == ys.size(), "x/y size mismatch");
   SFS_REQUIRE(xs.size() >= 2, "need at least two points to fit a line");
-  const auto n = static_cast<double>(xs.size());
 
+  double sw = 0.0;
   double sx = 0.0;
   double sy = 0.0;
+  std::size_t used = 0;
   for (std::size_t i = 0; i < xs.size(); ++i) {
-    sx += xs[i];
-    sy += ys[i];
+    const double w = weights ? weights[i] : 1.0;
+    SFS_REQUIRE(std::isfinite(w) && w >= 0.0,
+                "weights must be finite and non-negative");
+    if (w == 0.0) continue;
+    sw += w;
+    sx += w * xs[i];
+    sy += w * ys[i];
+    ++used;
   }
-  const double mx = sx / n;
-  const double my = sy / n;
+  SFS_REQUIRE(sw > 0.0, "total weight must be positive");
+
+  LinearFit fit;
+  fit.count = used;
+  const double mx = sx / sw;
+  const double my = sy / sw;
+  if (used < 2) {
+    fit.degenerate = true;
+    fit.intercept = my;
+    return fit;
+  }
 
   double sxx = 0.0;
   double sxy = 0.0;
   double syy = 0.0;
   for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double w = weights ? weights[i] : 1.0;
+    if (w == 0.0) continue;
     const double dx = xs[i] - mx;
     const double dy = ys[i] - my;
-    sxx += dx * dx;
-    sxy += dx * dy;
-    syy += dy * dy;
+    sxx += w * dx * dx;
+    sxy += w * dx * dy;
+    syy += w * dy * dy;
   }
-  SFS_REQUIRE(sxx > 0.0, "x values are all equal; slope undefined");
+  if (!(sxx > 0.0)) {
+    // All (positive-weight) x collapsed onto one value: the slope is
+    // undefined. Flag instead of throwing so a sweep whose size grid
+    // rounded to a single point degrades to "no fit", not an abort.
+    fit.degenerate = true;
+    fit.intercept = my;
+    return fit;
+  }
 
-  LinearFit fit;
-  fit.count = xs.size();
   fit.slope = sxy / sxx;
   fit.intercept = my - fit.slope * mx;
 
   // Residual variance and derived diagnostics.
   double ssr = 0.0;
   for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double w = weights ? weights[i] : 1.0;
+    if (w == 0.0) continue;
     const double r = ys[i] - fit.at(xs[i]);
-    ssr += r * r;
+    ssr += w * r * r;
   }
   if (syy > 0.0) fit.r_squared = 1.0 - ssr / syy;
-  if (xs.size() > 2) {
-    const double sigma2 = ssr / (n - 2.0);
+  if (used > 2) {
+    const double sigma2 = ssr / (static_cast<double>(used) - 2.0);
     fit.slope_stderr = std::sqrt(sigma2 / sxx);
   }
   return fit;
 }
 
-LinearFit fit_power_law(std::span<const double> xs,
-                        std::span<const double> ys) {
+void log_transform(std::span<const double> xs, std::span<const double> ys,
+                   std::vector<double>& lx, std::vector<double>& ly) {
   SFS_REQUIRE(xs.size() == ys.size(), "x/y size mismatch");
-  std::vector<double> lx;
-  std::vector<double> ly;
   lx.reserve(xs.size());
   ly.reserve(ys.size());
   for (std::size_t i = 0; i < xs.size(); ++i) {
@@ -65,7 +93,36 @@ LinearFit fit_power_law(std::span<const double> xs,
     lx.push_back(std::log(xs[i]));
     ly.push_back(std::log(ys[i]));
   }
+}
+
+}  // namespace
+
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  return fit_core(xs, ys, nullptr);
+}
+
+LinearFit fit_line_weighted(std::span<const double> xs,
+                            std::span<const double> ys,
+                            std::span<const double> weights) {
+  SFS_REQUIRE(weights.size() == xs.size(), "x/weight size mismatch");
+  return fit_core(xs, ys, weights.data());
+}
+
+LinearFit fit_power_law(std::span<const double> xs,
+                        std::span<const double> ys) {
+  std::vector<double> lx;
+  std::vector<double> ly;
+  log_transform(xs, ys, lx, ly);
   return fit_line(lx, ly);
+}
+
+LinearFit fit_power_law_weighted(std::span<const double> xs,
+                                 std::span<const double> ys,
+                                 std::span<const double> weights) {
+  std::vector<double> lx;
+  std::vector<double> ly;
+  log_transform(xs, ys, lx, ly);
+  return fit_line_weighted(lx, ly, weights);
 }
 
 }  // namespace sfs::stats

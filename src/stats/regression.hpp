@@ -3,7 +3,10 @@
 //
 // Every experiment that claims a polynomial growth rate reports the fitted
 // slope, its standard error, and R^2, so that "slope ≈ 0.5" is a statistical
-// statement rather than eyeballing.
+// statement rather than eyeballing. Degenerate inputs (all x equal, so the
+// slope is undefined) return a flagged no-fit result instead of throwing:
+// a rounding-collapsed size grid must not abort a multi-hour sweep, and
+// callers are expected to branch on ok() before quoting a slope.
 #pragma once
 
 #include <span>
@@ -16,7 +19,12 @@ struct LinearFit {
   double intercept = 0.0;
   double slope_stderr = 0.0;  // 0 for n <= 2
   double r_squared = 0.0;     // 1 for a perfect fit; 0 when y has no variance
-  std::size_t count = 0;
+  std::size_t count = 0;      // points the fit actually used
+  bool degenerate = false;    // x had no spread: slope undefined, no fit
+
+  /// True when the fit is usable: at least two points and a well-defined
+  /// slope. Default-constructed (count == 0) and degenerate fits are not.
+  [[nodiscard]] bool ok() const noexcept { return count >= 2 && !degenerate; }
 
   /// Predicted y at x.
   [[nodiscard]] double at(double x) const noexcept {
@@ -24,14 +32,35 @@ struct LinearFit {
   }
 };
 
-/// Fits y against x. Requires xs.size() == ys.size() >= 2 and xs not all
-/// equal.
+/// Fits y against x. Requires xs.size() == ys.size() >= 2. If all xs are
+/// equal the result is flagged degenerate (slope 0, intercept = mean y,
+/// ok() == false) rather than throwing.
 [[nodiscard]] LinearFit fit_line(std::span<const double> xs,
                                  std::span<const double> ys);
+
+/// Weighted least squares fit of y = intercept + slope * x with
+/// non-negative per-point weights (w_i = 1 / Var(y_i) up to a common
+/// scale). Requires equal sizes, >= 2 points, all weights finite and
+/// >= 0, and total weight > 0. Points with weight 0 are excluded (count
+/// reflects the points actually used); a weighted x-spread of zero or
+/// fewer than two positive-weight points yields a degenerate result.
+/// slope_stderr uses the conventional residual-scale estimate
+/// sqrt((sum w r^2 / (k - 2)) / sxx) for k used points (0 for k <= 2).
+[[nodiscard]] LinearFit fit_line_weighted(std::span<const double> xs,
+                                          std::span<const double> ys,
+                                          std::span<const double> weights);
 
 /// Fits log(y) against log(x): the returned slope is the scaling exponent b
 /// in y ~ c x^b and the intercept is log(c). Requires all inputs > 0.
 [[nodiscard]] LinearFit fit_power_law(std::span<const double> xs,
                                       std::span<const double> ys);
+
+/// Weighted log-log fit; `weights` apply to the log-transformed points
+/// (w_i = 1 / Var(log y_i) up to scale — by the delta method
+/// Var(log y) ≈ Var(y) / y^2, which is how sim/scaling derives them).
+/// Requires all xs/ys > 0; weight semantics as fit_line_weighted.
+[[nodiscard]] LinearFit fit_power_law_weighted(std::span<const double> xs,
+                                               std::span<const double> ys,
+                                               std::span<const double> weights);
 
 }  // namespace sfs::stats

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 
 #include "graph/builder.hpp"
 
@@ -180,6 +181,24 @@ TEST(Graph, BuilderIsReusableAfterBuild) {
   EXPECT_EQ(g1.num_edges(), 1u);
   EXPECT_EQ(b.num_vertices(), 0u);
   EXPECT_EQ(b.num_edges(), 0u);
+}
+
+TEST(GraphBuilder, ValidateEdgeCapacity) {
+  using sfs::graph::kNoEdge;
+  using sfs::graph::validate_edge_capacity;
+  // In-range counts pass, including the largest representable one
+  // (add_edge allows ids up to kNoEdge - 1, i.e. kNoEdge edges total).
+  EXPECT_NO_THROW(validate_edge_capacity(0));
+  EXPECT_NO_THROW(validate_edge_capacity(1000000));
+  EXPECT_NO_THROW(validate_edge_capacity(static_cast<std::size_t>(kNoEdge)));
+  // One past the EdgeId range — what a high-degree model at n >= 10^6
+  // could request — must be rejected before any CSR array is sized.
+  EXPECT_THROW(validate_edge_capacity(static_cast<std::size_t>(kNoEdge) + 1),
+               std::invalid_argument);
+  // And a count whose 2m incidence slot total would wrap size_t.
+  EXPECT_THROW(
+      validate_edge_capacity(std::numeric_limits<std::size_t>::max() / 2 + 1),
+      std::invalid_argument);
 }
 
 }  // namespace

@@ -52,12 +52,31 @@ TEST(FitLine, FlatDataHasZeroSlope) {
 
 TEST(FitLine, Preconditions) {
   const std::vector<double> one{1.0};
-  const std::vector<double> same{2.0, 2.0};
   const std::vector<double> ys{1.0, 2.0};
   EXPECT_THROW((void)fit_line(one, one), std::invalid_argument);
-  EXPECT_THROW((void)fit_line(same, ys), std::invalid_argument);
   const std::vector<double> mismatched{1.0, 2.0, 3.0};
   EXPECT_THROW((void)fit_line(mismatched, ys), std::invalid_argument);
+}
+
+TEST(FitLine, DegenerateXReturnsFlaggedNoFit) {
+  // All x equal: the slope is undefined. This must NOT throw — a rounding-
+  // collapsed size grid would otherwise abort a multi-hour sweep — and
+  // must NOT look like a real fit either.
+  const std::vector<double> same{2.0, 2.0, 2.0};
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  const auto f = fit_line(same, ys);
+  EXPECT_TRUE(f.degenerate);
+  EXPECT_FALSE(f.ok());
+  EXPECT_EQ(f.count, 3u);
+  EXPECT_DOUBLE_EQ(f.slope, 0.0);
+  EXPECT_DOUBLE_EQ(f.intercept, 2.0);  // mean y: at() still predicts sanely
+}
+
+TEST(FitLine, OkContract) {
+  const std::vector<double> xs{1.0, 2.0};
+  const std::vector<double> ys{1.0, 2.0};
+  EXPECT_TRUE(fit_line(xs, ys).ok());
+  EXPECT_FALSE(sfs::stats::LinearFit{}.ok());  // default-constructed: no fit
 }
 
 TEST(FitPowerLaw, ExactPowerLaw) {
@@ -89,6 +108,85 @@ TEST(FitPowerLaw, RejectsNonPositive) {
   const std::vector<double> bad{0.0, 1.0};
   EXPECT_THROW((void)fit_power_law(xs, bad), std::invalid_argument);
   EXPECT_THROW((void)fit_power_law(bad, xs), std::invalid_argument);
+}
+
+TEST(FitLineWeighted, UniformWeightsMatchOls) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 5.0, 8.0};
+  const std::vector<double> ys{2.1, 3.9, 6.2, 9.8, 16.3};
+  const std::vector<double> ws(xs.size(), 7.0);  // any common scale
+  const auto ols = fit_line(xs, ys);
+  const auto wls = sfs::stats::fit_line_weighted(xs, ys, ws);
+  EXPECT_NEAR(wls.slope, ols.slope, 1e-12);
+  EXPECT_NEAR(wls.intercept, ols.intercept, 1e-12);
+  EXPECT_NEAR(wls.r_squared, ols.r_squared, 1e-12);
+  EXPECT_NEAR(wls.slope_stderr, ols.slope_stderr, 1e-12);
+  EXPECT_EQ(wls.count, 5u);
+}
+
+TEST(FitLineWeighted, DownweightsOutlier) {
+  // y = 2x except one wild point; with the outlier's weight ~0 the fit
+  // recovers the clean slope, with equal weights it does not.
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> ys{2.0, 4.0, 6.0, 8.0, 100.0};
+  const std::vector<double> ws{1.0, 1.0, 1.0, 1.0, 1e-9};
+  const auto wls = sfs::stats::fit_line_weighted(xs, ys, ws);
+  EXPECT_NEAR(wls.slope, 2.0, 1e-4);
+  const auto ols = fit_line(xs, ys);
+  EXPECT_GT(ols.slope, 10.0);
+}
+
+TEST(FitLineWeighted, ZeroWeightPointsAreExcluded) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{2.0, 4.0, 999.0};
+  const std::vector<double> ws{1.0, 1.0, 0.0};
+  const auto f = sfs::stats::fit_line_weighted(xs, ys, ws);
+  EXPECT_TRUE(f.ok());
+  EXPECT_EQ(f.count, 2u);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+}
+
+TEST(FitLineWeighted, DegenerateCases) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{2.0, 4.0, 6.0};
+  // Only one positive-weight point: no line through one point.
+  const std::vector<double> one_w{0.0, 5.0, 0.0};
+  const auto one = sfs::stats::fit_line_weighted(xs, ys, one_w);
+  EXPECT_TRUE(one.degenerate);
+  EXPECT_FALSE(one.ok());
+  EXPECT_EQ(one.count, 1u);
+  // Positive-weight xs all equal.
+  const std::vector<double> same{2.0, 2.0, 2.0};
+  const std::vector<double> unit_w{1.0, 1.0, 1.0};
+  const auto collapsed = sfs::stats::fit_line_weighted(same, ys, unit_w);
+  EXPECT_TRUE(collapsed.degenerate);
+  // Invalid weights throw.
+  const std::vector<double> neg_w{1.0, -1.0, 1.0};
+  const std::vector<double> zero_w{0.0, 0.0, 0.0};
+  const std::vector<double> short_w{1.0, 1.0};
+  EXPECT_THROW((void)sfs::stats::fit_line_weighted(xs, ys, neg_w),
+               std::invalid_argument);
+  EXPECT_THROW((void)sfs::stats::fit_line_weighted(xs, ys, zero_w),
+               std::invalid_argument);
+  EXPECT_THROW((void)sfs::stats::fit_line_weighted(xs, ys, short_w),
+               std::invalid_argument);
+}
+
+TEST(FitPowerLawWeighted, RecoversExponentWithHeteroscedasticNoise) {
+  // Exact power law with one badly corrupted point that carries ~no
+  // weight: the weighted exponent is clean.
+  std::vector<double> xs;
+  std::vector<double> ys;
+  std::vector<double> ws;
+  for (const double x : {10.0, 100.0, 1000.0, 10000.0}) {
+    xs.push_back(x);
+    ys.push_back(2.0 * std::pow(x, 0.7));
+    ws.push_back(1.0);
+  }
+  xs.push_back(100000.0);
+  ys.push_back(1.0);  // wildly off the law
+  ws.push_back(1e-12);
+  const auto f = sfs::stats::fit_power_law_weighted(xs, ys, ws);
+  EXPECT_NEAR(f.slope, 0.7, 1e-6);
 }
 
 }  // namespace

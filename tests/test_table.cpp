@@ -79,4 +79,45 @@ TEST(CsvEscape, QuotingRules) {
   EXPECT_EQ(csv_escape(""), "");
 }
 
+TEST(ParseCsvRow, RoundTripsEscapedRows) {
+  // parse_csv_row must invert write_csv_row field-for-field.
+  const std::vector<std::string> cases[] = {
+      {"a", "b", "c"},
+      {"plain", "a,b", "say \"hi\"", ""},
+      {"", "", ""},
+      {"1", "1634", "2", "4.5500000000000007", "end"},
+  };
+  std::vector<std::string> fields;
+  for (const auto& row : cases) {
+    std::ostringstream os;
+    sfs::sim::write_csv_row(os, row);
+    std::string line = os.str();
+    ASSERT_FALSE(line.empty());
+    line.pop_back();  // strip '\n'
+    ASSERT_TRUE(sfs::sim::parse_csv_row(line, fields)) << line;
+    EXPECT_EQ(fields, row);
+  }
+}
+
+TEST(ParseCsvRow, BasicShapes) {
+  std::vector<std::string> fields;
+  ASSERT_TRUE(sfs::sim::parse_csv_row("", fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{""}));
+  ASSERT_TRUE(sfs::sim::parse_csv_row("a,,b", fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"a", "", "b"}));
+  ASSERT_TRUE(sfs::sim::parse_csv_row("a,b,", fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"a", "b", ""}));
+  ASSERT_TRUE(sfs::sim::parse_csv_row("\"x,y\",z", fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"x,y", "z"}));
+}
+
+TEST(ParseCsvRow, RejectsMalformedRows) {
+  // Torn or corrupt lines — what an interrupted checkpoint append leaves —
+  // must be detectable, not silently misparsed.
+  std::vector<std::string> fields;
+  EXPECT_FALSE(sfs::sim::parse_csv_row("\"unterminated", fields));
+  EXPECT_FALSE(sfs::sim::parse_csv_row("\"a\"garbage,b", fields));
+  EXPECT_FALSE(sfs::sim::parse_csv_row("bare\"quote", fields));
+}
+
 }  // namespace
