@@ -1,70 +1,10 @@
-// A1 — policy ablation: which weak-model policy wins where?
-//
-// The lower-bound experiments report only the portfolio minimum; this
-// ablation shows the full picture: per-policy cost across models and
-// target choices. It makes the paper's two structural facts visible —
-// (a) NO policy escapes sqrt(n) when the target is the newest vertex,
-// (b) policy choice matters enormously when the target is old (min-id and
-//     degree-greedy exploit the age gradient; blind policies cannot).
-#include <iostream>
+// Thin compatibility wrapper: delegates to the experiment registry
+// (equivalent to `sfs_bench --run a1 ...`). The experiment itself lives
+// in bench/experiments/; this binary exists so existing scripts and
+// muscle memory keep working. All flags go through the shared parser —
+// unknown or unsupported flags exit 2 with usage.
+#include "sim/experiment.hpp"
 
-#include "gen/cooper_frieze.hpp"
-#include "gen/mori.hpp"
-#include "sim/sweep.hpp"
-#include "sim/table.hpp"
-
-namespace {
-
-using sfs::rng::Rng;
-
-void ablate(const std::string& title, const sfs::sim::GraphFactory& factory,
-            const sfs::sim::EndpointSelector& endpoints, std::size_t n) {
-  const auto cost = sfs::sim::measure_weak_portfolio(
-      factory, endpoints, 8, 0xA1,
-      sfs::search::RunBudget{.max_raw_requests = 40 * n}, /*threads=*/0);
-  sfs::sim::Table t(title, {"policy", "mean requests", "median", "p90",
-                            "found frac"});
-  for (const auto& pol : cost.policies) {
-    t.row()
-        .cell(pol.name)
-        .num(pol.requests.mean, 1)
-        .num(pol.median_requests, 1)
-        .num(pol.p90_requests, 1)
-        .num(pol.found_fraction, 2);
-  }
-  t.print(std::cout);
-  std::cout << "winner: " << cost.best_policy().name << "\n\n";
-}
-
-}  // namespace
-
-int main() {
-  std::cout << "A1: per-policy ablation across models and targets "
-               "(n = 8192, 8 replications).\n\n";
-  const std::size_t n = 8192;
-
-  const auto mori = [n](Rng& rng) {
-    return sfs::gen::mori_tree(n, sfs::gen::MoriParams{0.5}, rng);
-  };
-  const auto merged = [n](Rng& rng) {
-    return sfs::gen::merged_mori_graph(n, 3, sfs::gen::MoriParams{0.5}, rng);
-  };
-  const auto cf = [n](Rng& rng) {
-    sfs::gen::CooperFriezeParams params;
-    return sfs::gen::cooper_frieze(n, params, rng).graph;
-  };
-
-  ablate("A1: Mori tree, target = NEWEST vertex", mori,
-         sfs::sim::oldest_to_newest(), n);
-  ablate("A1: Mori tree, target = ROOT (oldest)", mori,
-         sfs::sim::newest_to_paper_id(1), n);
-  ablate("A1: merged Mori m=3, target = NEWEST", merged,
-         sfs::sim::oldest_to_newest(), n);
-  ablate("A1: Cooper-Frieze, target = NEWEST", cf,
-         sfs::sim::oldest_to_newest(), n);
-
-  std::cout << "Expected shape: for NEWEST targets every policy pays "
-               "thousands of requests (no winner escapes the bound); for "
-               "the ROOT target the age-gradient policies pay a handful.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return sfs::sim::experiment_main_for("a1", argc, argv);
 }

@@ -1,109 +1,10 @@
-// A2 — model-knob ablation: how the generator parameters move the
-// searchability needle.
-//
-//  * Móri p (uniform vs preferential mix): the lower bound is sqrt(n) for
-//    ALL p, but constants shift — higher p concentrates degree, which
-//    helps degree-seeking policies find OLD vertices yet does nothing for
-//    the newest.
-//  * merge factor m: denser merged graphs (more edges per vertex) change
-//    the absolute cost but not the scaling.
-//  * Cooper-Frieze preference mode (indegree vs total degree): the paper
-//    rephrases CF to indegree; this ablation shows the choice does not
-//    rescue searchability.
-#include <iostream>
+// Thin compatibility wrapper: delegates to the experiment registry
+// (equivalent to `sfs_bench --run a2 ...`). The experiment itself lives
+// in bench/experiments/; this binary exists so existing scripts and
+// muscle memory keep working. All flags go through the shared parser —
+// unknown or unsupported flags exit 2 with usage.
+#include "sim/experiment.hpp"
 
-#include "base/check.hpp"
-#include "gen/cooper_frieze.hpp"
-#include "gen/mori.hpp"
-#include "sim/scaling.hpp"
-#include "sim/sweep.hpp"
-#include "sim/table.hpp"
-
-namespace {
-
-using sfs::rng::Rng;
-
-double best_cost(const sfs::sim::GraphFactory& factory, std::size_t n,
-                 std::uint64_t seed) {
-  const auto cost = sfs::sim::measure_weak_portfolio(
-      factory, sfs::sim::oldest_to_newest(), 1, seed,
-      sfs::search::RunBudget{.max_raw_requests = 40 * n});
-  return cost.best_policy().requests.mean;
-}
-
-double fitted_exponent(const std::function<sfs::sim::GraphFactory(
-                           std::size_t)>& factory_at,
-                       std::uint64_t seed) {
-  const auto series = sfs::sim::measure_scaling(
-      {1024, 2048, 4096, 8192}, 5, seed,
-      [&](std::size_t n, std::uint64_t s) {
-        return best_cost(factory_at(n), n, s);
-      },
-      /*threads=*/0);
-  // The no-fit contract: never quote the default slope 0.0 as measured.
-  SFS_REQUIRE(series.has_fit(), "A2: no usable exponent fit");
-  return series.fit.slope;
-}
-
-}  // namespace
-
-int main() {
-  std::cout << "A2: generator-knob ablation (fitted exponent of best weak "
-               "cost, newest-vertex target).\n\n";
-
-  sfs::sim::Table mori("A2: Mori p sweep", {"p", "fitted exponent"});
-  for (const double p : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
-    mori.row().num(p, 1).num(
-        fitted_exponent(
-            [p](std::size_t n) {
-              return [n, p](Rng& rng) {
-                return sfs::gen::mori_tree(n, sfs::gen::MoriParams{p}, rng);
-              };
-            },
-            0xA2),
-        3);
-  }
-  mori.print(std::cout);
-  std::cout << '\n';
-
-  sfs::sim::Table merge("A2: merge factor sweep (p=0.5)",
-                        {"m", "fitted exponent"});
-  for (const std::size_t m : {1u, 2u, 4u, 8u}) {
-    merge.row().integer(m).num(
-        fitted_exponent(
-            [m](std::size_t n) {
-              return [n, m](Rng& rng) {
-                return sfs::gen::merged_mori_graph(
-                    n, m, sfs::gen::MoriParams{0.5}, rng);
-              };
-            },
-            0xA22),
-        3);
-  }
-  merge.print(std::cout);
-  std::cout << '\n';
-
-  sfs::sim::Table cf("A2: Cooper-Frieze preference mode",
-                     {"preference", "fitted exponent"});
-  for (const auto pref : {sfs::gen::Preference::kInDegree,
-                          sfs::gen::Preference::kTotalDegree}) {
-    cf.row()
-        .cell(pref == sfs::gen::Preference::kInDegree ? "indegree"
-                                                      : "total degree")
-        .num(fitted_exponent(
-                 [pref](std::size_t n) {
-                   return [n, pref](Rng& rng) {
-                     sfs::gen::CooperFriezeParams params;
-                     params.preference = pref;
-                     return sfs::gen::cooper_frieze(n, params, rng).graph;
-                   };
-                 },
-                 0xA23),
-             3);
-  }
-  cf.print(std::cout);
-
-  std::cout << "\nExpected shape: every row fits an exponent comfortably "
-               ">= 0.5 — no knob makes the newest vertex easy to find.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return sfs::sim::experiment_main_for("a2", argc, argv);
 }

@@ -1,64 +1,10 @@
-// A3 — the strong-to-weak reduction, measured: Theorem 1's strong-model
-// proof multiplies the weak bound by 1/max-degree. This ablation runs the
-// same strong policy natively and through the StrongViaWeak simulation and
-// reports the observed slowdown factor against the max-degree ceiling.
-#include <iostream>
+// Thin compatibility wrapper: delegates to the experiment registry
+// (equivalent to `sfs_bench --run a3 ...`). The experiment itself lives
+// in bench/experiments/; this binary exists so existing scripts and
+// muscle memory keep working. All flags go through the shared parser —
+// unknown or unsupported flags exit 2 with usage.
+#include "sim/experiment.hpp"
 
-#include "gen/mori.hpp"
-#include "graph/degree.hpp"
-#include "search/runner.hpp"
-#include "search/simulate.hpp"
-#include "search/strong_algorithms.hpp"
-#include "sim/table.hpp"
-#include "stats/summary.hpp"
-
-namespace {
-
-using sfs::graph::VertexId;
-using sfs::rng::Rng;
-
-}  // namespace
-
-int main() {
-  std::cout << "A3: strong-to-weak simulation overhead vs the max-degree "
-               "ceiling (Mori trees, degree-greedy inner policy).\n\n";
-  sfs::sim::Table t("A3: slowdown of simulating strong requests weakly",
-                    {"p", "n", "max deg", "strong reqs", "weak reqs",
-                     "slowdown", "ceiling (max deg)"});
-  for (const double p : {0.2, 0.4, 0.6}) {
-    for (const std::size_t n : {4096u, 16384u}) {
-      sfs::stats::Accumulator strong_reqs;
-      sfs::stats::Accumulator weak_reqs;
-      sfs::stats::Accumulator dmax_acc;
-      for (std::uint64_t rep = 0; rep < 5; ++rep) {
-        Rng graph_rng(sfs::rng::derive_seed(0xA3, rep));
-        const auto g =
-            sfs::gen::mori_tree(n, sfs::gen::MoriParams{p}, graph_rng);
-        dmax_acc.add(static_cast<double>(sfs::graph::max_degree(
-            g, sfs::graph::DegreeKind::kUndirected)));
-
-        sfs::search::StrongViaWeak sim(
-            sfs::search::make_degree_greedy_strong());
-        Rng rng(sfs::rng::derive_seed(0x3A, rep));
-        const auto r = sfs::search::run_weak(
-            g, 0, static_cast<VertexId>(n - 1), sim, rng);
-        weak_reqs.add(static_cast<double>(r.requests));
-        strong_reqs.add(static_cast<double>(sim.strong_requests()));
-      }
-      t.row()
-          .num(p, 1)
-          .integer(n)
-          .num(dmax_acc.mean(), 0)
-          .num(strong_reqs.mean(), 0)
-          .num(weak_reqs.mean(), 0)
-          .num(weak_reqs.mean() / strong_reqs.mean(), 2)
-          .num(dmax_acc.mean(), 0);
-    }
-  }
-  t.print(std::cout);
-  std::cout << "\nExpected shape: slowdown well below the ceiling (the "
-               "reduction is pessimistic), and the ceiling itself grows "
-               "like n^p — exactly why the strong bound weakens as p "
-               "grows.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return sfs::sim::experiment_main_for("a3", argc, argv);
 }

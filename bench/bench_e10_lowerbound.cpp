@@ -1,83 +1,10 @@
-// E10 — The proof machinery end-to-end (Lemmas 1+2+3): the window
-// [[n, n + sqrt(n)]] of ~sqrt(n) vertices is equivalent conditional on
-// E_{a,b}, so expected search cost >= |V| * P(E) / 2. This bench computes
-// the estimated bound, the closed-form floor |V| e^{-(1-p)} / 2, and the
-// measured best-portfolio weak cost — the measurement must dominate the
-// bound.
-//
-// Also validates Lemma 2 empirically: per-position conditional feature
-// means across the window agree (exchangeability).
-#include <iostream>
+// Thin compatibility wrapper: delegates to the experiment registry
+// (equivalent to `sfs_bench --run e10 ...`). The experiment itself lives
+// in bench/experiments/; this binary exists so existing scripts and
+// muscle memory keep working. All flags go through the shared parser —
+// unknown or unsupported flags exit 2 with usage.
+#include "sim/experiment.hpp"
 
-#include "core/lower_bound.hpp"
-#include "core/theory.hpp"
-#include "gen/mori.hpp"
-#include "sim/sweep.hpp"
-#include "sim/table.hpp"
-
-namespace {
-
-using sfs::rng::Rng;
-
-}  // namespace
-
-int main() {
-  std::cout << "E10: Lemma 1 bound |V| P(E)/2 vs measured best weak-model "
-               "cost (Mori, target = vertex n).\n\n";
-  const double p = 0.5;
-  sfs::sim::Table t("E10: bound vs measurement, Mori p=0.5",
-                    {"n", "|V|", "P(E) est", "bound |V|P/2",
-                     "theory floor", "measured best", "measured/bound"});
-  for (const std::size_t n : {1024u, 4096u, 16384u}) {
-    const auto bound = sfs::core::mori_lower_bound(p, n, 3000, 0xE10);
-    const auto cost = sfs::sim::measure_weak_portfolio(
-        [n, p](Rng& rng) {
-          return sfs::gen::mori_tree(n, sfs::gen::MoriParams{p}, rng);
-        },
-        sfs::sim::oldest_to_newest(), 8, 0x10E,
-        sfs::search::RunBudget{.max_raw_requests = 40 * n}, /*threads=*/0);
-    const double measured = cost.best_policy().requests.mean;
-    t.row()
-        .integer(n)
-        .integer(bound.window_size)
-        .num(bound.event.probability, 4)
-        .num(bound.bound, 1)
-        .num(bound.theory_floor, 1)
-        .num(measured, 1)
-        .num(measured / bound.bound, 2);
-  }
-  t.print(std::cout);
-
-  std::cout << "\nLemma 2 exchangeability check (conditional on E_{a,b}, "
-               "window positions are interchangeable):\n";
-  const std::size_t a = 128;
-  const std::size_t b = sfs::core::theory::lemma3_window_end(a);
-  const auto st = sfs::core::window_feature_stats(p, a, b, 400, 6000, 0x2E);
-  sfs::sim::Table w("E10: per-position conditional means, window (" +
-                        std::to_string(a) + ", " + std::to_string(b) + "]",
-                    {"paper vertex", "mean final indegree", "P(leaf)"});
-  for (std::size_t i = 0; i < st.mean_final_indegree.size(); ++i) {
-    w.row()
-        .integer(a + 1 + i)
-        .num(st.mean_final_indegree[i], 3)
-        .num(st.leaf_probability[i], 3);
-  }
-  w.print(std::cout);
-  std::cout << "accepted " << st.accepted << "/" << st.attempted
-            << " trees (acceptance ~ P(E)); columns should be flat.\n";
-
-  std::cout << "\nCooper-Frieze analogue (untouched-window event):\n";
-  sfs::gen::CooperFriezeParams params;
-  sfs::sim::Table c("E10: CF window event", {"n", "|V|", "P(E) est", "bound"});
-  for (const std::size_t n : {1024u, 4096u}) {
-    const auto est = sfs::core::cooper_frieze_lower_bound(params, n, 2000,
-                                                          0xCE10);
-    c.row()
-        .integer(n)
-        .integer(est.window_size)
-        .num(est.event.probability, 4)
-        .num(est.bound, 2);
-  }
-  c.print(std::cout);
-  return 0;
+int main(int argc, char** argv) {
+  return sfs::sim::experiment_main_for("e10", argc, argv);
 }

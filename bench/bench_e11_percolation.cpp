@@ -1,74 +1,10 @@
-// E11 — Sarshar et al. (2004): percolation search makes unstructured
-// power-law P2P lookup scalable — replicate content along short random
-// walks, implant the query likewise, then broadcast with bond-percolation
-// probability q_e. Success turns on once q_e crosses the (very low)
-// percolation threshold of the power-law core, at sublinear traffic.
-//
-// Regenerates: success rate and message cost across q_e and replication
-// length on a power-law configuration graph.
-#include <iostream>
+// Thin compatibility wrapper: delegates to the experiment registry
+// (equivalent to `sfs_bench --run e11 ...`). The experiment itself lives
+// in bench/experiments/; this binary exists so existing scripts and
+// muscle memory keep working. All flags go through the shared parser —
+// unknown or unsupported flags exit 2 with usage.
+#include "sim/experiment.hpp"
 
-#include "gen/config_model.hpp"
-#include "graph/algorithms.hpp"
-#include "search/percolation.hpp"
-#include "sim/table.hpp"
-#include "stats/summary.hpp"
-
-namespace {
-
-using sfs::graph::Graph;
-using sfs::graph::VertexId;
-using sfs::rng::Rng;
-
-}  // namespace
-
-int main() {
-  std::cout << "Sarshar et al. 2004: percolation search on a power-law "
-               "configuration graph (k = 2.3, largest component).\n\n";
-  Rng graph_rng(0xE11);
-  const Graph full = sfs::gen::power_law_configuration_graph(
-      20000, sfs::gen::PowerLawSequenceParams{2.3, 1, 0},
-      sfs::gen::ConfigModelOptions{false}, graph_rng);
-  const Graph g = sfs::graph::largest_component(full).graph;
-  std::cout << "graph: " << g.num_vertices() << " vertices, "
-            << g.num_edges() << " edges\n\n";
-
-  constexpr std::size_t kLookups = 150;
-  for (const std::size_t walk : {0u, 20u, 100u}) {
-    sfs::sim::Table t(
-        "E11: replication walk length " + std::to_string(walk),
-        {"q_e", "success rate", "mean messages", "messages / edges",
-         "mean vertices reached"});
-    for (const double qe : {0.02, 0.05, 0.1, 0.2, 0.4, 0.7}) {
-      std::size_t hits = 0;
-      sfs::stats::Accumulator messages;
-      sfs::stats::Accumulator reached;
-      for (std::uint64_t rep = 0; rep < kLookups; ++rep) {
-        Rng rng(sfs::rng::derive_seed(0x11E, rep));
-        const auto owner =
-            static_cast<VertexId>(rng.uniform_index(g.num_vertices()));
-        const auto requester =
-            static_cast<VertexId>(rng.uniform_index(g.num_vertices()));
-        const auto r = sfs::search::percolation_search(
-            g, owner, requester,
-            sfs::search::PercolationParams{walk, 10, qe}, rng);
-        if (r.found) ++hits;
-        messages.add(static_cast<double>(r.messages));
-        reached.add(static_cast<double>(r.vertices_reached));
-      }
-      t.row()
-          .num(qe, 2)
-          .num(static_cast<double>(hits) / kLookups, 2)
-          .num(messages.mean(), 0)
-          .num(messages.mean() / static_cast<double>(g.num_edges()), 3)
-          .num(reached.mean(), 0);
-    }
-    t.print(std::cout);
-    std::cout << '\n';
-  }
-  std::cout << "Expected shape: with replication (walk >= 20), success "
-               "approaches 1 well below q_e = 1 while messages stay a "
-               "fraction of the edge count; without replication the same "
-               "q_e fails far more often.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return sfs::sim::experiment_main_for("e11", argc, argv);
 }

@@ -1,68 +1,10 @@
-// E12 — Why "vertex n"? The age/degree correlation of evolving graphs
-// makes OLD vertices easy to find (they are hubs, reachable by climbing
-// the degree/age gradient) while the NEWEST vertex hides among ~sqrt(n)
-// statistically equivalent leaves. This bench quantifies the asymmetry the
-// theorems build on.
-//
-// Regenerates: best weak-model cost by target age, Móri and Cooper–Frieze.
-#include <iostream>
+// Thin compatibility wrapper: delegates to the experiment registry
+// (equivalent to `sfs_bench --run e12 ...`). The experiment itself lives
+// in bench/experiments/; this binary exists so existing scripts and
+// muscle memory keep working. All flags go through the shared parser —
+// unknown or unsupported flags exit 2 with usage.
+#include "sim/experiment.hpp"
 
-#include "gen/cooper_frieze.hpp"
-#include "gen/mori.hpp"
-#include "sim/sweep.hpp"
-#include "sim/table.hpp"
-
-namespace {
-
-using sfs::rng::Rng;
-
-void report(const std::string& model, const sfs::sim::GraphFactory& factory,
-            std::size_t n) {
-  sfs::sim::Table t("E12: cost by target age, " + model,
-                    {"target (paper id)", "best policy", "best mean cost",
-                     "degree-greedy cost", "bfs cost"});
-  for (const std::size_t target :
-       {std::size_t{1}, n / 4, n / 2, 3 * n / 4, n}) {
-    // Fixed start: paper vertex 2 (old but not a target row), so rows are
-    // comparable.
-    const sfs::sim::EndpointSelector from_two =
-        [target](const sfs::graph::Graph&, Rng&) {
-          return std::pair<sfs::graph::VertexId, sfs::graph::VertexId>{
-              1, static_cast<sfs::graph::VertexId>(target - 1)};
-        };
-    const auto cost = sfs::sim::measure_weak_portfolio(
-        factory, from_two, 8, 0xE12,
-        sfs::search::RunBudget{.max_raw_requests = 40 * n}, /*threads=*/0);
-    double greedy = 0.0;
-    double bfs = 0.0;
-    for (const auto& pol : cost.policies) {
-      if (pol.name == "degree-greedy") greedy = pol.requests.mean;
-      if (pol.name == "bfs") bfs = pol.requests.mean;
-    }
-    t.row()
-        .integer(target)
-        .cell(cost.best_policy().name)
-        .num(cost.best_policy().requests.mean, 1)
-        .num(greedy, 1)
-        .num(bfs, 1);
-  }
-  t.print(std::cout);
-  std::cout << '\n';
-}
-
-}  // namespace
-
-int main() {
-  std::cout << "E12: searching OLD vertices is easy, searching the NEWEST "
-               "is Omega(sqrt(n)) — the asymmetry behind targeting vertex "
-               "n. Start vertex: the newest (paper id n).\n\n";
-  const std::size_t n = 8192;
-  report("Mori p=0.5", [n](Rng& rng) {
-    return sfs::gen::mori_tree(n, sfs::gen::MoriParams{0.5}, rng);
-  }, n);
-  report("Cooper-Frieze balanced", [n](Rng& rng) {
-    sfs::gen::CooperFriezeParams params;
-    return sfs::gen::cooper_frieze(n, params, rng).graph;
-  }, n);
-  return 0;
+int main(int argc, char** argv) {
+  return sfs::sim::experiment_main_for("e12", argc, argv);
 }

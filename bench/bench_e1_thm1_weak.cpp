@@ -1,142 +1,10 @@
-// E1 — Theorem 1, weak model: every weak-model search algorithm needs an
-// expected Omega(n^{1/2}) requests to find vertex n in the merged Móri
-// graph G^{(m)}, for all m >= 1 and 0 < p <= 1.
-//
-// Regenerates: per-(p, m) sweep of n with the full weak portfolio; reports
-// each policy's mean cost at the largest n, the portfolio-best cost per n,
-// and the fitted scaling exponent of the best cost (theory: >= 0.5, since
-// even the best algorithm is lower-bounded).
-//
-// Modes:
-//   (default)            the conservative seed-size sweep over all (p, m)
-//   --large              geometric grid to n = 2,097,152 (>= 2e6) at
-//                        p=0.5, m=1 with bootstrap CI on the exponent,
-//                        scratch-reusing generation and the shared pool
-//   --large --quick      small smoke version of the same code path (CI)
-//   --checkpoint <path>  stream (n, rep, value) cells to <path> and
-//                        resume from it (large mode); interrupt with ^C
-//                        and rerun to continue where it stopped
-#include <iostream>
-#include <string>
-
-#include "bench_util.hpp"
-#include "core/theory.hpp"
-#include "gen/mori.hpp"
-#include "sim/sweep.hpp"
-
-namespace {
-
-using sfs::graph::Graph;
-using sfs::rng::Rng;
-
-void run_config(double p, std::size_t m) {
-  const std::vector<std::size_t> sizes{1024, 2048, 4096, 8192, 16384};
-  const std::size_t reps = 5;
-
-  auto portfolio_best = [&](std::size_t n, std::uint64_t seed) {
-    const auto cost = sfs::sim::measure_weak_portfolio(
-        [n, m, p](Rng& rng) {
-          return sfs::gen::merged_mori_graph(n, m, sfs::gen::MoriParams{p},
-                                             rng);
-        },
-        sfs::sim::oldest_to_newest(), 1, seed,
-        sfs::search::RunBudget{.max_raw_requests = 40 * n});
-    return cost;
-  };
-
-  // Scaling of the portfolio-best cost.
-  const auto series = sfs::sim::measure_scaling(
-      sizes, reps, 0xE1,
-      [&](std::size_t n, std::uint64_t seed) {
-        return portfolio_best(n, seed).best_policy().requests.mean;
-      },
-      /*threads=*/0);
-  sfs::bench::print_scaling(
-      "E1: weak-model requests to find vertex n, Mori p=" +
-          sfs::sim::format_double(p, 2) + " m=" + std::to_string(m),
-      series, "best requests",
-      sfs::core::theory::weak_lower_bound_exponent(), "Omega exponent");
-
-  // Per-policy breakdown at the largest size.
-  const auto big = sfs::sim::measure_weak_portfolio(
-      [&](Rng& rng) {
-        return sfs::gen::merged_mori_graph(sizes.back(), m,
-                                           sfs::gen::MoriParams{p}, rng);
-      },
-      sfs::sim::oldest_to_newest(), reps, 0x1E1,
-      sfs::search::RunBudget{.max_raw_requests = 40 * sizes.back()},
-      /*threads=*/0);
-  sfs::sim::Table t(
-      "E1 detail: per-policy cost at n=" + std::to_string(sizes.back()) +
-          " (p=" + sfs::sim::format_double(p, 2) + ", m=" +
-          std::to_string(m) + ")",
-      {"policy", "mean requests", "stderr", "found frac"});
-  for (const auto& pol : big.policies) {
-    t.row()
-        .cell(pol.name)
-        .num(pol.requests.mean, 1)
-        .num(pol.requests.stderr_mean, 1)
-        .num(pol.found_fraction, 2);
-  }
-  t.print(std::cout);
-  std::cout << '\n';
-}
-
-// Large-n mode: the ROADMAP "push the Theorem 1 sweeps past n = 10^6"
-// study. One (p, m) configuration, geometric grid to >= 2e6 vertices,
-// bootstrap CI on the fitted exponent, per-worker generator scratch, and
-// optional checkpoint/resume for multi-hour grids.
-int run_large(const sfs::bench::LargeModeArgs& args) {
-  const double p = 0.5;
-  const std::size_t m = 1;
-  const auto plan = sfs::bench::plan_large_run(args);
-
-  sfs::bench::WallTimer timer;
-  const std::function<double(std::size_t, std::uint64_t,
-                             sfs::gen::GenScratch&)>
-      measure = [&](std::size_t n, std::uint64_t seed,
-                    sfs::gen::GenScratch& scratch) {
-        const auto cost = sfs::sim::measure_weak_portfolio(
-            sfs::sim::ScratchGraphFactory(
-                [&scratch, n, m, p](Rng& rng, sfs::gen::GenScratch&,
-                                    Graph& out) {
-                  // The inner portfolio runs sequentially inside this
-                  // cell, so reusing the sweep-level per-worker scratch
-                  // (instead of the portfolio's own, fresh per cell)
-                  // keeps generator buffers warm across the whole grid.
-                  sfs::gen::merged_mori_graph(n, m, sfs::gen::MoriParams{p},
-                                              rng, scratch, out);
-                }),
-            sfs::sim::oldest_to_newest(), 1, seed,
-            sfs::search::RunBudget{.max_raw_requests = 40 * n},
-            /*threads=*/1);
-        return cost.best_policy().requests.mean;
-      };
-  const auto series = sfs::sim::measure_scaling(plan.sizes, plan.reps,
-                                                0x1A26E1, measure,
-                                                plan.options);
-  return sfs::bench::report_large_run(
-      "E1 large: weak-model requests to find vertex n, Mori p=" +
-          sfs::sim::format_double(p, 2) + " m=" + std::to_string(m) +
-          (args.quick ? " (quick)" : ""),
-      plan, series, "best requests",
-      sfs::core::theory::weak_lower_bound_exponent(), "Omega exponent",
-      timer.seconds());
-}
-
-}  // namespace
+// Thin compatibility wrapper: delegates to the experiment registry
+// (equivalent to `sfs_bench --run e1 ...`). The experiment itself lives
+// in bench/experiments/; this binary exists so existing scripts and
+// muscle memory keep working. All flags go through the shared parser —
+// unknown or unsupported flags exit 2 with usage.
+#include "sim/experiment.hpp"
 
 int main(int argc, char** argv) {
-  sfs::bench::LargeModeArgs args;
-  if (!sfs::bench::parse_large_mode_args(argc, argv, args)) return 2;
-
-  std::cout << "Theorem 1 (weak model): expected requests = Omega(sqrt(n)) "
-               "for ALL weak-model algorithms.\n"
-               "Empirical stand-in for 'all algorithms': min over an "
-               "8-policy portfolio.\n\n";
-  if (args.large) return run_large(args);
-  for (const double p : {0.25, 0.5, 0.75, 1.0}) run_config(p, 1);
-  run_config(0.5, 2);
-  run_config(0.5, 4);
-  return 0;
+  return sfs::sim::experiment_main_for("e1", argc, argv);
 }

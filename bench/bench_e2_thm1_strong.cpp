@@ -1,126 +1,10 @@
-// E2 — Theorem 1, strong model: for Móri p < 1/2, every strong-model
-// algorithm needs Omega(n^{1/2 - p - eps}) expected requests to find vertex
-// n; the bound degrades with p because the maximum degree Theta(t^p) caps
-// how much a single strong request can reveal.
-//
-// Regenerates: per-p sweep of n with the strong portfolio; fitted exponent
-// of the portfolio-best cost against the theory floor 1/2 - p.
-//
-// Modes (same shape as bench_e1):
-//   (default)            the conservative seed-size sweep over all p
-//   --large              geometric grid to n = 2,097,152 at p=0.25 with a
-//                        bootstrap CI on the exponent, scratch-reusing
-//                        generation and the shared pool
-//   --large --quick      small smoke version of the same code path (CI)
-//   --checkpoint <path>  stream/resume cells through <path> (large mode)
-#include <iostream>
-#include <string>
-
-#include "bench_util.hpp"
-#include "core/theory.hpp"
-#include "gen/mori.hpp"
-#include "sim/sweep.hpp"
-
-namespace {
-
-using sfs::graph::Graph;
-using sfs::rng::Rng;
-
-void run_p(double p) {
-  const std::vector<std::size_t> sizes{2048, 4096, 8192, 16384, 32768};
-  const std::size_t reps = 5;
-
-  const auto series = sfs::sim::measure_scaling(
-      sizes, reps, 0xE2,
-      [&](std::size_t n, std::uint64_t seed) {
-        const auto cost = sfs::sim::measure_strong_portfolio(
-            [n, p](Rng& rng) {
-              return sfs::gen::mori_tree(n, sfs::gen::MoriParams{p}, rng);
-            },
-            sfs::sim::oldest_to_newest(), 1, seed);
-        return cost.best_policy().requests.mean;
-      },
-      /*threads=*/0);
-  sfs::bench::print_scaling(
-      "E2: strong-model requests to find vertex n, Mori p=" +
-          sfs::sim::format_double(p, 2),
-      series, "best requests",
-      sfs::core::theory::strong_lower_bound_exponent(p),
-      "Omega exponent 1/2-p");
-
-  const auto big = sfs::sim::measure_strong_portfolio(
-      [&](Rng& rng) {
-        return sfs::gen::mori_tree(sizes.back(), sfs::gen::MoriParams{p},
-                                   rng);
-      },
-      sfs::sim::oldest_to_newest(), reps, 0x2E2,
-      sfs::search::RunBudget{}, /*threads=*/0);
-  sfs::sim::Table t("E2 detail: per-policy cost at n=" +
-                        std::to_string(sizes.back()) + " (p=" +
-                        sfs::sim::format_double(p, 2) + ")",
-                    {"policy", "mean requests", "stderr", "found frac"});
-  for (const auto& pol : big.policies) {
-    t.row()
-        .cell(pol.name)
-        .num(pol.requests.mean, 1)
-        .num(pol.requests.stderr_mean, 1)
-        .num(pol.found_fraction, 2);
-  }
-  t.print(std::cout);
-  std::cout << '\n';
-}
-
-// Large-n mode (ROADMAP "push the Theorem 1 sweeps past n = 10^6"): one
-// p in the non-trivial regime p < 1/2, geometric grid to >= 2e6 vertices,
-// bootstrap CI on the exponent, per-worker generator scratch, optional
-// checkpoint/resume.
-int run_large(const sfs::bench::LargeModeArgs& args) {
-  const double p = 0.25;
-  const auto plan = sfs::bench::plan_large_run(args);
-
-  sfs::bench::WallTimer timer;
-  const std::function<double(std::size_t, std::uint64_t,
-                             sfs::gen::GenScratch&)>
-      measure = [&](std::size_t n, std::uint64_t seed,
-                    sfs::gen::GenScratch& scratch) {
-        const auto cost = sfs::sim::measure_strong_portfolio(
-            sfs::sim::ScratchGraphFactory(
-                [&scratch, n, p](Rng& rng, sfs::gen::GenScratch&,
-                                 Graph& out) {
-                  // Sequential inner portfolio: reuse the sweep-level
-                  // per-worker scratch across the whole grid.
-                  sfs::gen::mori_tree(n, sfs::gen::MoriParams{p}, rng,
-                                      scratch, out);
-                }),
-            sfs::sim::oldest_to_newest(), 1, seed, sfs::search::RunBudget{},
-            /*threads=*/1);
-        return cost.best_policy().requests.mean;
-      };
-  const auto series = sfs::sim::measure_scaling(plan.sizes, plan.reps,
-                                                0x1A26E2, measure,
-                                                plan.options);
-  return sfs::bench::report_large_run(
-      "E2 large: strong-model requests to find vertex n, Mori p=" +
-          sfs::sim::format_double(p, 2) + (args.quick ? " (quick)" : ""),
-      plan, series, "best requests",
-      sfs::core::theory::strong_lower_bound_exponent(p),
-      "Omega exponent 1/2-p", timer.seconds());
-}
-
-}  // namespace
+// Thin compatibility wrapper: delegates to the experiment registry
+// (equivalent to `sfs_bench --run e2 ...`). The experiment itself lives
+// in bench/experiments/; this binary exists so existing scripts and
+// muscle memory keep working. All flags go through the shared parser —
+// unknown or unsupported flags exit 2 with usage.
+#include "sim/experiment.hpp"
 
 int main(int argc, char** argv) {
-  sfs::bench::LargeModeArgs args;
-  if (!sfs::bench::parse_large_mode_args(argc, argv, args)) return 2;
-
-  std::cout << "Theorem 1 (strong model): expected requests = "
-               "Omega(n^{1/2-p-eps}) for p < 1/2.\n"
-               "Note the weakening as p grows: one strong request on a hub "
-               "of degree ~t^p reveals t^p vertices at once.\n\n";
-  if (args.large) return run_large(args);
-  for (const double p : {0.1, 0.25, 0.4}) run_p(p);
-  // Control: at p >= 1/2 the bound is trivial (exponent 0); the measured
-  // cost may still grow, but the theorem no longer promises anything.
-  run_p(0.75);
-  return 0;
+  return sfs::sim::experiment_main_for("e2", argc, argv);
 }

@@ -1,87 +1,10 @@
-// E3 — Theorem 2: in every Cooper–Frieze model with 0 < alpha < 1, any
-// weak-model algorithm needs expected Omega(n^{1/2}) requests to find the
-// newest vertex.
-//
-// Regenerates: sweep of n for several (alpha, beta, gamma, delta, p, q)
-// presets; fitted exponent of the portfolio-best weak cost.
-#include <iostream>
+// Thin compatibility wrapper: delegates to the experiment registry
+// (equivalent to `sfs_bench --run e3 ...`). The experiment itself lives
+// in bench/experiments/; this binary exists so existing scripts and
+// muscle memory keep working. All flags go through the shared parser —
+// unknown or unsupported flags exit 2 with usage.
+#include "sim/experiment.hpp"
 
-#include "bench_util.hpp"
-#include "core/theory.hpp"
-#include "gen/cooper_frieze.hpp"
-#include "sim/sweep.hpp"
-
-namespace {
-
-using sfs::gen::CooperFriezeParams;
-using sfs::rng::Rng;
-
-struct Preset {
-  std::string name;
-  CooperFriezeParams params;
-};
-
-std::vector<Preset> presets() {
-  std::vector<Preset> out;
-  {
-    CooperFriezeParams p;
-    p.alpha = 0.5;
-    out.push_back({"balanced (alpha=0.5, unit edges)", p});
-  }
-  {
-    CooperFriezeParams p;
-    p.alpha = 0.25;
-    out.push_back({"old-heavy (alpha=0.25)", p});
-  }
-  {
-    CooperFriezeParams p;
-    p.alpha = 0.75;
-    out.push_back({"new-heavy (alpha=0.75)", p});
-  }
-  {
-    CooperFriezeParams p;
-    p.alpha = 0.5;
-    p.beta = 0.2;
-    p.gamma = 0.2;
-    p.delta = 0.2;
-    out.push_back({"mostly preferential (beta=gamma=delta=0.2)", p});
-  }
-  {
-    CooperFriezeParams p;
-    p.alpha = 0.5;
-    p.q = {0.5, 0.3, 0.2};  // NEW emits 1-3 edges
-    p.p = {0.7, 0.3};       // OLD emits 1-2 edges
-    out.push_back({"multi-edge (E[q]=1.7, E[p]=1.3)", p});
-  }
-  return out;
-}
-
-}  // namespace
-
-int main() {
-  std::cout << "Theorem 2: Omega(sqrt(n)) weak-model requests in all "
-               "Cooper-Frieze models with 0 < alpha < 1.\n\n";
-  const std::vector<std::size_t> sizes{1024, 2048, 4096, 8192};
-  const std::size_t reps = 5;
-
-  for (const auto& preset : presets()) {
-    const auto series = sfs::sim::measure_scaling(
-        sizes, reps, 0xE3,
-        [&](std::size_t n, std::uint64_t seed) {
-          const auto cost = sfs::sim::measure_weak_portfolio(
-              [&, n](Rng& rng) {
-                return sfs::gen::cooper_frieze(n, preset.params, rng).graph;
-              },
-              sfs::sim::oldest_to_newest(), 1, seed,
-              sfs::search::RunBudget{.max_raw_requests = 40 * n});
-          return cost.best_policy().requests.mean;
-        },
-        /*threads=*/0);
-    sfs::bench::print_scaling("E3: weak-model requests, Cooper-Frieze " +
-                                  preset.name,
-                              series, "best requests",
-                              sfs::core::theory::weak_lower_bound_exponent(),
-                              "Omega exponent");
-  }
-  return 0;
+int main(int argc, char** argv) {
+  return sfs::sim::experiment_main_for("e3", argc, argv);
 }

@@ -1,40 +1,10 @@
-// E4 — Lemma 3: with b = a + floor(sqrt(a-1)), the probability that every
-// vertex in the window (a, b] attaches below a satisfies
-// P(E_{a,b}) >= e^{-(1-p)}.
-//
-// Regenerates: Monte-Carlo P(E_{a,b}) across p and a, against the bound.
-#include <iostream>
+// Thin compatibility wrapper: delegates to the experiment registry
+// (equivalent to `sfs_bench --run e4 ...`). The experiment itself lives
+// in bench/experiments/; this binary exists so existing scripts and
+// muscle memory keep working. All flags go through the shared parser —
+// unknown or unsupported flags exit 2 with usage.
+#include "sim/experiment.hpp"
 
-#include "core/equivalence.hpp"
-#include "core/theory.hpp"
-#include "sim/table.hpp"
-
-int main() {
-  std::cout << "Lemma 3: P(E_{a,b}) >= e^{-(1-p)} for b = a + "
-               "floor(sqrt(a-1)).\n\n";
-  const std::size_t reps = 4000;
-  for (const double p : {0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
-    sfs::sim::Table t(
-        "E4: P(E_{a,b}) for Mori p=" + sfs::sim::format_double(p, 2),
-        {"a", "b", "window", "P(E) est", "stderr", "bound e^{-(1-p)}",
-         "est >= bound?"});
-    const double bound = sfs::core::theory::lemma3_bound(p);
-    for (const std::size_t a : {64u, 256u, 1024u, 4096u}) {
-      const std::size_t b = sfs::core::theory::lemma3_window_end(a);
-      const auto est = sfs::core::estimate_event_probability(
-          p, a, b, reps, 0xE4 + a);
-      t.row()
-          .integer(a)
-          .integer(b)
-          .integer(b - a)
-          .num(est.probability, 4)
-          .num(est.stderr_est, 4)
-          .num(bound, 4)
-          .cell(est.probability + 3 * est.stderr_est >= bound ? "yes"
-                                                              : "NO");
-    }
-    t.print(std::cout);
-    std::cout << '\n';
-  }
-  return 0;
+int main(int argc, char** argv) {
+  return sfs::sim::experiment_main_for("e4", argc, argv);
 }

@@ -1,35 +1,10 @@
-// E5 — Móri (2005): the maximum degree of the Móri tree G_t grows like
-// t^p. This is the lever of Theorem 1's strong-model half: a strong
-// request can be simulated by at most max-degree weak requests.
-//
-// Regenerates: max indegree vs t, fitted exponent against p.
-#include <iostream>
+// Thin compatibility wrapper: delegates to the experiment registry
+// (equivalent to `sfs_bench --run e5 ...`). The experiment itself lives
+// in bench/experiments/; this binary exists so existing scripts and
+// muscle memory keep working. All flags go through the shared parser —
+// unknown or unsupported flags exit 2 with usage.
+#include "sim/experiment.hpp"
 
-#include "bench_util.hpp"
-#include "core/theory.hpp"
-#include "gen/mori.hpp"
-#include "graph/degree.hpp"
-#include "sim/scaling.hpp"
-
-int main() {
-  std::cout << "Mori 2005: max degree of G_t is Theta(t^p).\n\n";
-  const std::vector<std::size_t> sizes{4096, 8192, 16384, 32768, 65536,
-                                       131072};
-  for (const double p : {0.25, 0.5, 0.75, 1.0}) {
-    const auto series = sfs::sim::measure_scaling(
-        sizes, 5, 0xE5,
-        [p](std::size_t n, std::uint64_t seed) {
-          sfs::rng::Rng rng(seed);
-          const auto g =
-              sfs::gen::mori_tree(n, sfs::gen::MoriParams{p}, rng);
-          return static_cast<double>(
-              sfs::graph::max_degree(g, sfs::graph::DegreeKind::kIn));
-        },
-        /*threads=*/0);
-    sfs::bench::print_scaling(
-        "E5: max indegree of Mori tree, p=" + sfs::sim::format_double(p, 2),
-        series, "max degree",
-        sfs::core::theory::mori_max_degree_exponent(p), "t^p exponent");
-  }
-  return 0;
+int main(int argc, char** argv) {
+  return sfs::sim::experiment_main_for("e5", argc, argv);
 }

@@ -1,98 +1,10 @@
-// E6 — Scale-freeness of the models (the paper's premise): the Móri tree
-// has a power-law degree distribution with exponent 1 + 1/p, and
-// Cooper–Frieze graphs are power-law for all mixing parameters; BA is the
-// classic exponent-3 reference.
-//
-// Regenerates: MLE tail fits and log-binned CCDF summaries at n = 1e5.
-#include <iostream>
+// Thin compatibility wrapper: delegates to the experiment registry
+// (equivalent to `sfs_bench --run e6 ...`). The experiment itself lives
+// in bench/experiments/; this binary exists so existing scripts and
+// muscle memory keep working. All flags go through the shared parser —
+// unknown or unsupported flags exit 2 with usage.
+#include "sim/experiment.hpp"
 
-#include "core/theory.hpp"
-#include "gen/barabasi_albert.hpp"
-#include "gen/cooper_frieze.hpp"
-#include "gen/mori.hpp"
-#include "graph/degree.hpp"
-#include "sim/table.hpp"
-#include "stats/powerlaw.hpp"
-
-namespace {
-
-using sfs::graph::Graph;
-
-void fit_row(sfs::sim::Table& t, const std::string& model, const Graph& g,
-             sfs::graph::DegreeKind kind, double predicted) {
-  const auto degrees = sfs::graph::degree_sequence(g, kind);
-  std::vector<std::size_t> positive;
-  for (const auto d : degrees) {
-    if (d >= 1) positive.push_back(d);
-  }
-  const auto auto_fit = sfs::stats::fit_power_law_auto(positive);
-  const auto deep = sfs::stats::fit_power_law_tail(positive, 10);
-  t.row()
-      .cell(model)
-      .num(predicted, 3)
-      .num(auto_fit.alpha, 3)
-      .integer(auto_fit.xmin)
-      .num(auto_fit.ks_distance, 4)
-      .num(deep.alpha, 3)
-      .integer(sfs::graph::max_degree(g, kind));
-}
-
-}  // namespace
-
-int main() {
-  std::cout << "E6: power-law degree distributions (MLE tail fits, "
-               "n = 100000).\nFinite-size note: fitted exponents approach "
-               "the asymptotic value from below.\n\n";
-  const std::size_t n = 100000;
-  sfs::sim::Table t("E6: degree-distribution exponents",
-                    {"model", "theory alpha", "alpha (auto xmin)", "xmin",
-                     "KS", "alpha (xmin=10)", "max deg"});
-
-  for (const double p : {1.0 / 3.0, 0.5, 2.0 / 3.0}) {
-    sfs::rng::Rng rng(0xE6);
-    const Graph g = sfs::gen::mori_tree(n, sfs::gen::MoriParams{p}, rng);
-    fit_row(t, "Mori p=" + sfs::sim::format_double(p, 2), g,
-            sfs::graph::DegreeKind::kIn,
-            sfs::core::theory::mori_degree_distribution_exponent(p));
-  }
-  {
-    sfs::rng::Rng rng(0xE6);
-    sfs::gen::CooperFriezeParams params;  // balanced defaults
-    const Graph g = sfs::gen::cooper_frieze(n, params, rng).graph;
-    fit_row(t, "Cooper-Frieze balanced", g, sfs::graph::DegreeKind::kIn,
-            0.0);  // no closed form printed; power law expected
-  }
-  {
-    sfs::rng::Rng rng(0xE6);
-    sfs::gen::CooperFriezeParams params;
-    params.beta = 0.2;
-    params.gamma = 0.2;
-    const Graph g = sfs::gen::cooper_frieze(n, params, rng).graph;
-    fit_row(t, "Cooper-Frieze pref-heavy", g, sfs::graph::DegreeKind::kIn,
-            0.0);
-  }
-  {
-    sfs::rng::Rng rng(0xE6);
-    const Graph g = sfs::gen::barabasi_albert(
-        n, sfs::gen::BarabasiAlbertParams{2, true}, rng);
-    fit_row(t, "Barabasi-Albert m=2", g,
-            sfs::graph::DegreeKind::kUndirected, 3.0);
-  }
-  t.print(std::cout);
-
-  // Log-binned CCDF of one Mori tree, the figure-style artifact.
-  std::cout << "\nLog-binned indegree CCDF, Mori p=0.5, n=100000:\n";
-  sfs::rng::Rng rng(0xE6);
-  const Graph g = sfs::gen::mori_tree(n, sfs::gen::MoriParams{0.5}, rng);
-  sfs::sim::Table c("E6 figure: CCDF by degree", {"degree", "P(D >= d)"});
-  const auto ccdf = sfs::graph::degree_ccdf(g, sfs::graph::DegreeKind::kIn);
-  std::size_t next = 1;
-  for (const auto& [d, prob] : ccdf) {
-    if (d >= next) {
-      c.row().integer(d).num(prob, 6);
-      next = d * 2;
-    }
-  }
-  c.print(std::cout);
-  return 0;
+int main(int argc, char** argv) {
+  return sfs::sim::experiment_main_for("e6", argc, argv);
 }

@@ -1,102 +1,10 @@
-// E7 — Adamic et al. (2001): in pure random power-law graphs with pmf
-// exponent k in (2, 3), the high-degree greedy strategy reaches a target
-// in O(n^{2(1-2/k)}) steps while a pure random walk needs O(n^{3(1-2/k)}).
-//
-// Regenerates: configuration-model sweep over k and n, degree-greedy
-// (strong model, as Adamic et al. assume neighbor degrees are visible) vs
-// random walk (raw steps), fitted exponents vs both predictions.
-#include <iostream>
+// Thin compatibility wrapper: delegates to the experiment registry
+// (equivalent to `sfs_bench --run e7 ...`). The experiment itself lives
+// in bench/experiments/; this binary exists so existing scripts and
+// muscle memory keep working. All flags go through the shared parser —
+// unknown or unsupported flags exit 2 with usage.
+#include "sim/experiment.hpp"
 
-#include "bench_util.hpp"
-#include "core/theory.hpp"
-#include "gen/config_model.hpp"
-#include "graph/algorithms.hpp"
-#include "search/runner.hpp"
-#include "search/strong_algorithms.hpp"
-#include "search/weak_algorithms.hpp"
-#include "sim/scaling.hpp"
-
-namespace {
-
-using sfs::graph::Graph;
-using sfs::graph::VertexId;
-using sfs::rng::Rng;
-
-Graph make_lcc(std::size_t n, double k, Rng& rng) {
-  const Graph g = sfs::gen::power_law_configuration_graph(
-      n, sfs::gen::PowerLawSequenceParams{k, 1, 0},
-      sfs::gen::ConfigModelOptions{false}, rng);
-  return sfs::graph::largest_component(g).graph;
-}
-
-std::pair<VertexId, VertexId> random_pair(const Graph& g, Rng& rng) {
-  const auto s = static_cast<VertexId>(rng.uniform_index(g.num_vertices()));
-  VertexId t;
-  do {
-    t = static_cast<VertexId>(rng.uniform_index(g.num_vertices()));
-  } while (t == s);
-  return {s, t};
-}
-
-double greedy_cost(std::size_t n, double k, std::uint64_t seed) {
-  Rng rng(seed);
-  const Graph g = make_lcc(n, k, rng);
-  const auto [s, t] = random_pair(g, rng);
-  auto greedy = sfs::search::make_degree_greedy_strong();
-  const auto r = sfs::search::run_strong(g, s, t, *greedy, rng);
-  return static_cast<double>(r.requests);
-}
-
-double walk_cost(std::size_t n, double k, std::uint64_t seed) {
-  Rng rng(seed);
-  const Graph g = make_lcc(n, k, rng);
-  const auto [s, t] = random_pair(g, rng);
-  sfs::search::RandomWalkWeak walk;
-  const auto r = sfs::search::run_weak(
-      g, s, t, walk, rng,
-      sfs::search::RunBudget{.max_raw_requests = 400 * n});
-  return static_cast<double>(r.raw_requests);
-}
-
-}  // namespace
-
-int main() {
-  std::cout << "Adamic et al. 2001, power-law configuration graphs "
-               "(largest component):\n  degree-greedy O(n^{2(1-2/k)})  vs  "
-               "random walk O(n^{3(1-2/k)}).\nCosts: greedy = strong-model "
-               "requests (visited vertices); walk = raw steps.\n\n";
-  const std::vector<std::size_t> sizes{2000, 4000, 8000, 16000, 32000};
-  const std::size_t reps = 8;
-
-  for (const double k : {2.1, 2.3, 2.5, 2.7}) {
-    const auto greedy = sfs::sim::measure_scaling(
-        sizes, reps, 0xE7,
-        [k](std::size_t n, std::uint64_t seed) {
-          return std::max(1.0, greedy_cost(n, k, seed));
-        },
-        /*threads=*/0);
-    sfs::bench::print_scaling(
-        "E7: degree-greedy steps, k=" + sfs::sim::format_double(k, 1),
-        greedy, "greedy steps", sfs::core::theory::adamic_greedy_exponent(k),
-        "2(1-2/k)");
-
-    const auto walk = sfs::sim::measure_scaling(
-        sizes, reps, 0x7E7,
-        [k](std::size_t n, std::uint64_t seed) {
-          return std::max(1.0, walk_cost(n, k, seed));
-        },
-        /*threads=*/0);
-    sfs::bench::print_scaling(
-        "E7: random-walk steps, k=" + sfs::sim::format_double(k, 1), walk,
-        "walk steps", sfs::core::theory::adamic_random_walk_exponent(k),
-        "3(1-2/k)");
-
-    std::cout << "who wins at n=" << sizes.back() << ": greedy "
-              << sfs::sim::format_double(greedy.points.back().summary.mean,
-                                         0)
-              << " vs walk "
-              << sfs::sim::format_double(walk.points.back().summary.mean, 0)
-              << "  (greedy should win, gap growing with n)\n\n";
-  }
-  return 0;
+int main(int argc, char** argv) {
+  return sfs::sim::experiment_main_for("e7", argc, argv);
 }

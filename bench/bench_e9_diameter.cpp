@@ -1,65 +1,10 @@
-// E9 — "This is in contrast with the logarithmic diameter of such graphs":
-// the same models that defeat local search have O(log n) distances, so
-// short paths exist — they just cannot be found locally.
-//
-// Regenerates: mean distance and pseudo-diameter vs n for Móri,
-// Cooper–Frieze, merged Móri and BA; the diameter/log2(n) ratio should be
-// roughly flat while E1's search cost grows like sqrt(n).
-#include <cmath>
-#include <functional>
-#include <iostream>
+// Thin compatibility wrapper: delegates to the experiment registry
+// (equivalent to `sfs_bench --run e9 ...`). The experiment itself lives
+// in bench/experiments/; this binary exists so existing scripts and
+// muscle memory keep working. All flags go through the shared parser —
+// unknown or unsupported flags exit 2 with usage.
+#include "sim/experiment.hpp"
 
-#include "gen/barabasi_albert.hpp"
-#include "gen/cooper_frieze.hpp"
-#include "gen/mori.hpp"
-#include "graph/algorithms.hpp"
-#include "sim/table.hpp"
-
-namespace {
-
-using sfs::graph::Graph;
-using sfs::rng::Rng;
-
-void report(const std::string& model,
-            const std::function<Graph(std::size_t, Rng&)>& make) {
-  sfs::sim::Table t("E9: distances in " + model,
-                    {"n", "mean distance", "pseudo-diameter",
-                     "diam / log2(n)"});
-  for (const std::size_t n : {4096u, 16384u, 65536u, 262144u}) {
-    Rng rng(0xE9);
-    const Graph g = make(n, rng);
-    Rng sample_rng(0x9E);
-    const auto st = sfs::graph::sample_distances(g, 10, sample_rng);
-    const auto diam = sfs::graph::pseudo_diameter(g);
-    t.row()
-        .integer(n)
-        .num(st.mean_distance, 2)
-        .integer(diam)
-        .num(static_cast<double>(diam) / std::log2(static_cast<double>(n)),
-             3);
-  }
-  t.print(std::cout);
-  std::cout << '\n';
-}
-
-}  // namespace
-
-int main() {
-  std::cout << "E9: logarithmic distances in the non-searchable models "
-               "(short paths exist; finding them locally costs sqrt(n)).\n\n";
-  report("Mori tree p=0.5", [](std::size_t n, Rng& rng) {
-    return sfs::gen::mori_tree(n, sfs::gen::MoriParams{0.5}, rng);
-  });
-  report("merged Mori graph m=2, p=0.5", [](std::size_t n, Rng& rng) {
-    return sfs::gen::merged_mori_graph(n, 2, sfs::gen::MoriParams{0.5}, rng);
-  });
-  report("Cooper-Frieze balanced", [](std::size_t n, Rng& rng) {
-    sfs::gen::CooperFriezeParams params;
-    return sfs::gen::cooper_frieze(n, params, rng).graph;
-  });
-  report("Barabasi-Albert m=2", [](std::size_t n, Rng& rng) {
-    return sfs::gen::barabasi_albert(
-        n, sfs::gen::BarabasiAlbertParams{2, true}, rng);
-  });
-  return 0;
+int main(int argc, char** argv) {
+  return sfs::sim::experiment_main_for("e9", argc, argv);
 }

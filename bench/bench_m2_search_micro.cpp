@@ -1,120 +1,10 @@
-// M2 — search-layer throughput microbenchmarks (google-benchmark).
-#include <benchmark/benchmark.h>
+// Thin compatibility wrapper: delegates to the experiment registry
+// (equivalent to `sfs_bench --run m2 ...`). The experiment itself lives
+// in bench/experiments/; this binary exists so existing scripts and
+// muscle memory keep working. All flags go through the shared parser —
+// unknown or unsupported flags exit 2 with usage.
+#include "sim/experiment.hpp"
 
-#include "gen/mori.hpp"
-#include "search/runner.hpp"
-#include "search/strong_algorithms.hpp"
-#include "search/weak_algorithms.hpp"
-
-namespace {
-
-sfs::graph::Graph test_graph(std::size_t n) {
-  sfs::rng::Rng rng(42);
-  return sfs::gen::merged_mori_graph(n, 2, sfs::gen::MoriParams{0.5}, rng);
+int main(int argc, char** argv) {
+  return sfs::sim::experiment_main_for("m2", argc, argv);
 }
-
-void BM_WeakBfsFullSearch(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto g = test_graph(n);
-  std::uint64_t seed = 1;
-  for (auto _ : state) {
-    sfs::search::BfsWeak bfs;
-    sfs::rng::Rng rng(seed++);
-    auto r = sfs::search::run_weak(
-        g, 0, static_cast<sfs::graph::VertexId>(n - 1), bfs, rng);
-    benchmark::DoNotOptimize(r);
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(g.num_edges()));
-}
-BENCHMARK(BM_WeakBfsFullSearch)->Arg(1 << 12)->Arg(1 << 15);
-
-// The replication-engine hot path: same search, but the O(n+m) per-run
-// state lives in a reused SearchWorkspace (O(1) epoch reset), as in
-// sim/sweep's per-worker loops.
-void BM_WeakBfsFullSearchWorkspace(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto g = test_graph(n);
-  sfs::search::SearchWorkspace ws;
-  sfs::search::BfsWeak bfs;
-  std::uint64_t seed = 1;
-  for (auto _ : state) {
-    sfs::rng::Rng rng(seed++);
-    auto r = sfs::search::run_weak(
-        g, 0, static_cast<sfs::graph::VertexId>(n - 1), bfs, rng, {}, ws);
-    benchmark::DoNotOptimize(r);
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(g.num_edges()));
-}
-BENCHMARK(BM_WeakBfsFullSearchWorkspace)->Arg(1 << 12)->Arg(1 << 15);
-
-void BM_WeakDegreeGreedy(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto g = test_graph(n);
-  std::uint64_t seed = 2;
-  for (auto _ : state) {
-    auto greedy = sfs::search::make_degree_greedy_weak();
-    sfs::rng::Rng rng(seed++);
-    auto r = sfs::search::run_weak(
-        g, 0, static_cast<sfs::graph::VertexId>(n - 1), *greedy, rng);
-    benchmark::DoNotOptimize(r);
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(g.num_edges()));
-}
-BENCHMARK(BM_WeakDegreeGreedy)->Arg(1 << 12)->Arg(1 << 15);
-
-void BM_RandomWalkSteps(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto g = test_graph(n);
-  std::uint64_t seed = 3;
-  constexpr std::size_t kSteps = 100000;
-  for (auto _ : state) {
-    sfs::search::RandomWalkWeak walk;
-    sfs::rng::Rng rng(seed++);
-    auto r = sfs::search::run_weak(
-        g, 0, static_cast<sfs::graph::VertexId>(n - 1), walk, rng,
-        sfs::search::RunBudget{.max_raw_requests = kSteps});
-    benchmark::DoNotOptimize(r);
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(kSteps));
-}
-BENCHMARK(BM_RandomWalkSteps)->Arg(1 << 14);
-
-void BM_StrongDegreeGreedy(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto g = test_graph(n);
-  std::uint64_t seed = 4;
-  for (auto _ : state) {
-    auto greedy = sfs::search::make_degree_greedy_strong();
-    sfs::rng::Rng rng(seed++);
-    auto r = sfs::search::run_strong(
-        g, 0, static_cast<sfs::graph::VertexId>(n - 1), *greedy, rng);
-    benchmark::DoNotOptimize(r);
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
-}
-BENCHMARK(BM_StrongDegreeGreedy)->Arg(1 << 12)->Arg(1 << 15);
-
-void BM_StrongDegreeGreedyWorkspace(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto g = test_graph(n);
-  sfs::search::SearchWorkspace ws;
-  const auto greedy = sfs::search::make_degree_greedy_strong();
-  std::uint64_t seed = 4;
-  for (auto _ : state) {
-    sfs::rng::Rng rng(seed++);
-    auto r = sfs::search::run_strong(
-        g, 0, static_cast<sfs::graph::VertexId>(n - 1), *greedy, rng, {},
-        ws);
-    benchmark::DoNotOptimize(r);
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
-}
-BENCHMARK(BM_StrongDegreeGreedyWorkspace)->Arg(1 << 12)->Arg(1 << 15);
-
-}  // namespace

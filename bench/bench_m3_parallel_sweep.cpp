@@ -1,117 +1,10 @@
-// M3 — parallel replication engine: sequential vs parallel portfolio
-// throughput, and a bit-identity audit of the deterministic fan-out.
-//
-// For each n, runs the full weak portfolio (10 policies) over `reps`
-// freshly generated merged Mori graphs twice: once with threads=1 (the
-// sequential engine) and once with the default worker count. Reports
-// throughput in units of "graphs+searches per second" (each replication
-// builds 1 graph and runs 10 searches) and the parallel speedup, then
-// verifies the two PortfolioCost results are bit-identical — the per-rep
-// seed derivation plus ordered fold make the parallel path a pure
-// performance transform.
-//
-// Expected: speedup approaching the core count on multi-core hosts (the
-// acceptance bar is >= 3x at n=100k on >= 4 cores); exactly 1x on a
-// single-core host, still bit-identical.
-#include <cstring>
-#include <iostream>
-
-#include "bench_util.hpp"
-#include "gen/mori.hpp"
-#include "sim/parallel.hpp"
-#include "sim/sweep.hpp"
-
-namespace {
-
-using sfs::graph::Graph;
-using sfs::rng::Rng;
-using sfs::sim::PortfolioCost;
-
-bool bit_identical(const PortfolioCost& a, const PortfolioCost& b) {
-  if (a.best != b.best || a.policies.size() != b.policies.size()) {
-    return false;
-  }
-  for (std::size_t i = 0; i < a.policies.size(); ++i) {
-    const auto& pa = a.policies[i];
-    const auto& pb = b.policies[i];
-    if (pa.name != pb.name || pa.found_fraction != pb.found_fraction ||
-        pa.median_requests != pb.median_requests ||
-        pa.p90_requests != pb.p90_requests ||
-        pa.requests.mean != pb.requests.mean ||
-        pa.requests.stddev != pb.requests.stddev ||
-        pa.requests.min != pb.requests.min ||
-        pa.requests.max != pb.requests.max ||
-        pa.raw_requests.mean != pb.raw_requests.mean ||
-        pa.raw_requests.stddev != pb.raw_requests.stddev) {
-      return false;
-    }
-  }
-  return true;
-}
-
-struct Measurement {
-  PortfolioCost cost;
-  double wall_s = 0.0;
-  double throughput = 0.0;  // graphs+searches per second
-};
-
-Measurement run_once(std::size_t n, std::size_t reps, std::size_t threads) {
-  const std::size_t m = 2;
-  const double p = 0.5;
-  sfs::bench::WallTimer timer;
-  Measurement out;
-  out.cost = sfs::sim::measure_weak_portfolio(
-      [n, m, p](Rng& rng) {
-        return sfs::gen::merged_mori_graph(n, m, sfs::gen::MoriParams{p}, rng);
-      },
-      sfs::sim::oldest_to_newest(), reps, /*seed=*/0x43,
-      sfs::search::RunBudget{.max_raw_requests = 40 * n}, threads);
-  out.wall_s = timer.seconds();
-  const std::size_t policies = out.cost.policies.size();
-  out.throughput =
-      static_cast<double>(reps * (1 + policies)) / out.wall_s;
-  return out;
-}
-
-}  // namespace
+// Thin compatibility wrapper: delegates to the experiment registry
+// (equivalent to `sfs_bench --run m3 ...`). The experiment itself lives
+// in bench/experiments/; this binary exists so existing scripts and
+// muscle memory keep working. All flags go through the shared parser —
+// unknown or unsupported flags exit 2 with usage.
+#include "sim/experiment.hpp"
 
 int main(int argc, char** argv) {
-  std::vector<std::size_t> sizes{10000, 30000, 100000};
-  std::size_t reps = 8;
-  if (argc > 1 && std::strcmp(argv[1], "--quick") == 0) {
-    sizes = {2000, 5000};
-    reps = 4;
-  }
-  const std::size_t workers = sfs::sim::default_worker_count();
-  std::cout << "M3: parallel replication engine, weak portfolio on merged "
-               "Mori graphs (m=2, p=0.5), "
-            << reps << " reps, " << workers << " worker(s) available\n\n";
-
-  sfs::sim::Table t("sequential vs parallel portfolio measurement",
-                    {"n", "seq wall s", "par wall s", "seq thru", "par thru",
-                     "speedup", "identical"});
-  bool all_identical = true;
-  for (const std::size_t n : sizes) {
-    const Measurement seq = run_once(n, reps, /*threads=*/1);
-    const Measurement par = run_once(n, reps, /*threads=*/0);
-    const bool same = bit_identical(seq.cost, par.cost);
-    all_identical = all_identical && same;
-    const double speedup = seq.wall_s / par.wall_s;
-    t.row()
-        .integer(n)
-        .num(seq.wall_s, 3)
-        .num(par.wall_s, 3)
-        .num(seq.throughput, 1)
-        .num(par.throughput, 1)
-        .num(speedup, 2)
-        .cell(same ? "yes" : "NO");
-    sfs::bench::emit_json_line("m3_parallel_sweep_seq", n, reps,
-                               seq.throughput, 0.0, seq.wall_s);
-    sfs::bench::emit_json_line("m3_parallel_sweep_par", n, reps,
-                               par.throughput, 0.0, par.wall_s);
-  }
-  t.print(std::cout);
-  std::cout << "\nbit-identical across thread counts: "
-            << (all_identical ? "PASS" : "FAIL") << '\n';
-  return all_identical ? 0 : 1;
+  return sfs::sim::experiment_main_for("m3", argc, argv);
 }

@@ -1,0 +1,34 @@
+#include "gbench_support.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+namespace sfs::bench {
+
+int run_gbench_experiment(sfs::sim::ExperimentContext& ctx,
+                          const std::string& filter) {
+  std::vector<std::string> args{"sfs_bench",
+                                "--benchmark_filter=" + filter};
+  if (ctx.options.quick) {
+    // Keep the float spelling: every libbenchmark back to the oldest we
+    // support parses it, while the "0.05s" suffix form is 1.7+ only.
+    args.emplace_back("--benchmark_min_time=0.05");
+  }
+  // User --benchmark_* flags go last so an explicit filter/min_time
+  // overrides the defaults above (gbench takes the final occurrence).
+  for (const auto& flag : ctx.options.gbench_flags) args.push_back(flag);
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (auto& arg : args) argv.push_back(arg.data());
+  int argc = static_cast<int>(argv.size());
+  benchmark::Initialize(&argc, argv.data());
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks();
+  if (ran == 0) {
+    ctx.console() << "no benchmarks matched filter " << filter << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace sfs::bench

@@ -1,0 +1,22 @@
+// Shared glue for the google-benchmark experiments (m1/m2): drives the
+// process-global gbench registry through a synthetic argv so each
+// registered experiment runs only its own BM_* cases (both experiments'
+// benchmarks are compiled into the one sfs_bench driver).
+//
+// Lives in bench/experiments (not sim/) so the sfsearch library never
+// depends on google-benchmark, which is an optional dependency.
+#pragma once
+
+#include <string>
+
+#include "sim/experiment.hpp"
+
+namespace sfs::bench {
+
+/// Runs the gbench cases whose names match `filter` (a gbench filter
+/// regex). Under ctx --quick, --benchmark_min_time drops to 0.05s.
+/// Returns 0 when at least one benchmark ran, 1 otherwise.
+[[nodiscard]] int run_gbench_experiment(sfs::sim::ExperimentContext& ctx,
+                                        const std::string& filter);
+
+}  // namespace sfs::bench

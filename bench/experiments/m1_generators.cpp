@@ -1,0 +1,145 @@
+// M1 — generator throughput microbenchmarks (google-benchmark), driven
+// through the experiment registry: the registered run function hands
+// google-benchmark a synthetic argv with a filter matching exactly this
+// experiment's benchmarks (m2's live in the same driver binary), plus a
+// reduced --benchmark_min_time under --quick.
+//
+// Excluded from the registry smoke loop (spec.smoke = false): the gbench
+// timing loop is not a tiny-budget Monte-Carlo run; CI exercises it
+// through the sfs_bench --quick loop instead.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "gen/barabasi_albert.hpp"
+#include "gen/config_model.hpp"
+#include "gen/cooper_frieze.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/kleinberg.hpp"
+#include "gen/mori.hpp"
+#include "gbench_support.hpp"
+
+namespace {
+
+void BM_MoriTree(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sfs::rng::Rng rng(seed++);
+    auto g = sfs::gen::mori_tree(n, sfs::gen::MoriParams{0.5}, rng);
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MoriTree)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18);
+
+void BM_MergedMori(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 2;
+  for (auto _ : state) {
+    sfs::rng::Rng rng(seed++);
+    auto g =
+        sfs::gen::merged_mori_graph(n, 4, sfs::gen::MoriParams{0.5}, rng);
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MergedMori)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_CooperFrieze(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 3;
+  sfs::gen::CooperFriezeParams params;
+  for (auto _ : state) {
+    sfs::rng::Rng rng(seed++);
+    auto g = sfs::gen::cooper_frieze(n, params, rng);
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CooperFrieze)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_BarabasiAlbert(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 4;
+  for (auto _ : state) {
+    sfs::rng::Rng rng(seed++);
+    auto g = sfs::gen::barabasi_albert(
+        n, sfs::gen::BarabasiAlbertParams{2, true}, rng);
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BarabasiAlbert)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_ConfigModel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 5;
+  for (auto _ : state) {
+    sfs::rng::Rng rng(seed++);
+    auto g = sfs::gen::power_law_configuration_graph(
+        n, sfs::gen::PowerLawSequenceParams{2.3, 1, 0},
+        sfs::gen::ConfigModelOptions{false}, rng);
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ConfigModel)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_KleinbergGrid(benchmark::State& state) {
+  const auto L = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 6;
+  for (auto _ : state) {
+    sfs::rng::Rng rng(seed++);
+    sfs::gen::KleinbergGrid grid(L, sfs::gen::KleinbergParams{2.0, 1}, rng);
+    benchmark::DoNotOptimize(grid);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(L * L));
+}
+BENCHMARK(BM_KleinbergGrid)->Arg(32)->Arg(128);
+
+void BM_ErdosRenyiGnp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 7;
+  for (auto _ : state) {
+    sfs::rng::Rng rng(seed++);
+    auto g = sfs::gen::erdos_renyi_gnp(n, 8.0 / static_cast<double>(n), rng);
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ErdosRenyiGnp)->Arg(1 << 12)->Arg(1 << 16);
+
+int run_m1(sfs::sim::ExperimentContext& ctx) {
+  return sfs::bench::run_gbench_experiment(
+      ctx,
+      "^BM_(MoriTree|MergedMori|CooperFrieze|BarabasiAlbert|ConfigModel|"
+      "KleinbergGrid|ErdosRenyiGnp)/");
+}
+
+const sfs::sim::ExperimentRegistrar reg_m1({
+    .name = "m1",
+    .title = "Generator throughput microbenchmarks (google-benchmark)",
+    .claim = "Machine benchmark: vertices/second for all seven graph "
+             "generators",
+    .caps = sfs::sim::kCapQuick | sfs::sim::kCapGbenchFlags,
+    .smoke = false,
+    .params =
+        {
+            {"--quick", "flag", "off",
+             "reduce --benchmark_min_time to 0.05s"},
+            {"--benchmark_*", "passthrough", "-",
+             "forwarded verbatim to google-benchmark (last one wins)"},
+        },
+    .run = run_m1,
+});
+
+}  // namespace

@@ -3,9 +3,10 @@
 //   sfsearch_cli generate <model> <n> <out.graph> [seed]
 //       model: mori[:p] | merged-mori[:p,m] | cf[:alpha] | ba[:m]
 //              | config[:k] | er[:avg-degree]
-//   sfsearch_cli stats <in.graph>
+//   sfsearch_cli stats <in.graph> [--json]
 //       structural report: degrees, components, distances, power-law fit,
-//       core decomposition, assortativity.
+//       core decomposition, assortativity. --json emits one machine-
+//       readable JSON object instead of the table (sim/json).
 //   sfsearch_cli search <in.graph> <start> <target> [weak|strong]
 //       runs the full portfolio from <start> (1-based paper ids).
 //   sfsearch_cli bound <p> <n>
@@ -31,6 +32,7 @@
 #include "search/runner.hpp"
 #include "search/strong_algorithms.hpp"
 #include "search/weak_algorithms.hpp"
+#include "sim/json.hpp"
 #include "sim/table.hpp"
 #include "stats/powerlaw.hpp"
 
@@ -46,7 +48,7 @@ int usage() {
          "  sfsearch_cli generate <model> <n> <out.graph> [seed]\n"
          "      model: mori[:p] merged-mori[:p,m] cf[:alpha] ba[:m] "
          "config[:k] er[:avg-deg]\n"
-         "  sfsearch_cli stats <in.graph>\n"
+         "  sfsearch_cli stats <in.graph> [--json]\n"
          "  sfsearch_cli search <in.graph> <start> <target> [weak|strong]\n"
          "  sfsearch_cli bound <p> <n>\n";
   return 1;
@@ -125,47 +127,81 @@ int cmd_generate(const std::vector<std::string>& args) {
 }
 
 int cmd_stats(const std::vector<std::string>& args) {
-  if (args.size() != 1) return usage();
+  if (args.empty() || args.size() > 2) return usage();
+  const bool as_json = args.size() == 2;
+  if (as_json && args[1] != "--json") return usage();
   const Graph g = sfs::graph::load(args[0]);
   Rng rng(1);
 
   sfs::sim::Table t("graph statistics: " + args[0], {"metric", "value"});
+  sfs::sim::JsonObjectWriter json;
+  json.str_field("graph", args[0]);
   t.row().cell("vertices").integer(g.num_vertices());
+  json.int_field("vertices", g.num_vertices());
   t.row().cell("edges").integer(g.num_edges());
-  t.row().cell("mean degree").num(
-      sfs::graph::mean_degree(g, sfs::graph::DegreeKind::kUndirected), 3);
-  t.row().cell("max degree").integer(
-      sfs::graph::max_degree(g, sfs::graph::DegreeKind::kUndirected));
+  json.int_field("edges", g.num_edges());
+  const double mean_deg =
+      sfs::graph::mean_degree(g, sfs::graph::DegreeKind::kUndirected);
+  t.row().cell("mean degree").num(mean_deg, 3);
+  json.num_field("mean_degree", mean_deg);
+  const auto max_deg =
+      sfs::graph::max_degree(g, sfs::graph::DegreeKind::kUndirected);
+  t.row().cell("max degree").integer(max_deg);
+  json.int_field("max_degree", max_deg);
   const auto comps = sfs::graph::connected_components(g);
   t.row().cell("components").integer(comps.count);
+  json.int_field("components", comps.count);
   if (comps.count == 1 && g.num_vertices() > 1) {
     const auto st = sfs::graph::sample_distances(g, 8, rng);
+    const auto diam = sfs::graph::pseudo_diameter(g);
     t.row().cell("mean distance (sampled)").num(st.mean_distance, 2);
-    t.row().cell("pseudo-diameter").integer(sfs::graph::pseudo_diameter(g));
+    t.row().cell("pseudo-diameter").integer(diam);
+    json.num_field("mean_distance_sampled", st.mean_distance);
+    json.int_field("pseudo_diameter", diam);
+  } else {
+    json.null_field("mean_distance_sampled");
+    json.null_field("pseudo_diameter");
   }
   const auto core = sfs::graph::core_decomposition(g);
   t.row().cell("degeneracy (max core)").integer(core.degeneracy);
-  t.row().cell("degree assortativity").num(
-      sfs::graph::degree_assortativity(g), 4);
-  t.row().cell("age-degree correlation").num(
-      sfs::graph::age_degree_correlation(g), 4);
+  json.int_field("degeneracy", core.degeneracy);
+  const double assort = sfs::graph::degree_assortativity(g);
+  t.row().cell("degree assortativity").num(assort, 4);
+  json.num_field("degree_assortativity", assort);
+  const double age_corr = sfs::graph::age_degree_correlation(g);
+  t.row().cell("age-degree correlation").num(age_corr, 4);
+  json.num_field("age_degree_correlation", age_corr);
 
   // Power-law tail fit on positive degrees.
   std::vector<std::size_t> degrees;
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     if (g.degree(v) >= 1) degrees.push_back(g.degree(v));
   }
+  bool have_fit = false;
   if (degrees.size() >= 50) {
     try {
       const auto fit = sfs::stats::fit_power_law_auto(degrees);
       t.row().cell("power-law alpha (auto xmin)").num(fit.alpha, 3);
       t.row().cell("power-law xmin").integer(fit.xmin);
       t.row().cell("power-law KS").num(fit.ks_distance, 4);
+      json.num_field("powerlaw_alpha", fit.alpha);
+      json.int_field("powerlaw_xmin", fit.xmin);
+      json.num_field("powerlaw_ks", fit.ks_distance);
+      have_fit = true;
     } catch (const std::exception&) {
       t.row().cell("power-law fit").cell("n/a (no viable tail)");
     }
   }
-  t.print(std::cout);
+  if (!have_fit) {
+    json.null_field("powerlaw_alpha");
+    json.null_field("powerlaw_xmin");
+    json.null_field("powerlaw_ks");
+  }
+  if (as_json) {
+    std::cout << json.str() << "\n";
+  } else {
+    t.print(std::cout);
+  }
   return 0;
 }
 

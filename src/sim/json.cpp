@@ -1,0 +1,168 @@
+#include "sim/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "sim/table.hpp"
+
+namespace sfs::sim {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  char buf[8];
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (u < 0x20) {
+      std::snprintf(buf, sizeof buf, "\\u%04x", u);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Parses 4 hex digits at s[i..i+3]; returns false on truncation/non-hex.
+bool parse_hex4(const std::string& s, std::size_t i, unsigned& value) {
+  if (i + 4 > s.size()) return false;
+  value = 0;
+  for (std::size_t k = 0; k < 4; ++k) {
+    const char c = s[i + k];
+    unsigned digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<unsigned>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<unsigned>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<unsigned>(c - 'A') + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | digit;
+  }
+  return true;
+}
+
+void append_utf8(std::string& out, std::uint32_t cp) {
+  if (cp < 0x80) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+}  // namespace
+
+bool json_unescape(const std::string& s, std::string& out) {
+  out.clear();
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out.push_back(s[i]);
+      continue;
+    }
+    if (++i >= s.size()) return false;
+    switch (s[i]) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case '/': out.push_back('/'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'u': {
+        unsigned cp;
+        if (!parse_hex4(s, i + 1, cp)) return false;
+        i += 4;
+        if (cp >= 0xDC00 && cp <= 0xDFFF) return false;  // lone low surrogate
+        if (cp >= 0xD800 && cp <= 0xDBFF) {
+          // High surrogate: must be followed by \uDC00-\uDFFF.
+          if (i + 2 >= s.size() || s[i + 1] != '\\' || s[i + 2] != 'u') {
+            return false;
+          }
+          unsigned lo;
+          if (!parse_hex4(s, i + 3, lo)) return false;
+          if (lo < 0xDC00 || lo > 0xDFFF) return false;
+          i += 6;
+          append_utf8(out, 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00));
+        } else {
+          append_utf8(out, cp);
+        }
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+std::string json_num(double v) {
+  if (!std::isfinite(v)) return "null";
+  return format_double(v, 6);
+}
+
+JsonObjectWriter& JsonObjectWriter::key(const std::string& k) {
+  if (!body_.empty()) body_.push_back(',');
+  body_.push_back('"');
+  body_ += json_escape(k);
+  body_ += "\":";
+  return *this;
+}
+
+JsonObjectWriter& JsonObjectWriter::str_field(const std::string& k,
+                                              const std::string& value) {
+  key(k);
+  body_.push_back('"');
+  body_ += json_escape(value);
+  body_.push_back('"');
+  return *this;
+}
+
+JsonObjectWriter& JsonObjectWriter::num_field(const std::string& k,
+                                              double value) {
+  key(k).body_ += json_num(value);
+  return *this;
+}
+
+JsonObjectWriter& JsonObjectWriter::int_field(const std::string& k,
+                                              std::uint64_t value) {
+  key(k).body_ += std::to_string(value);
+  return *this;
+}
+
+JsonObjectWriter& JsonObjectWriter::bool_field(const std::string& k,
+                                               bool value) {
+  key(k).body_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonObjectWriter& JsonObjectWriter::null_field(const std::string& k) {
+  key(k).body_ += "null";
+  return *this;
+}
+
+JsonObjectWriter& JsonObjectWriter::raw_field(const std::string& k,
+                                              const std::string& raw) {
+  key(k).body_ += raw;
+  return *this;
+}
+
+}  // namespace sfs::sim

@@ -1,0 +1,162 @@
+#include "sim/report.hpp"
+
+#include <iostream>
+#include <stdexcept>
+
+#include "sim/json.hpp"
+#include "sim/table.hpp"
+
+namespace sfs::sim {
+
+ResultsEmitter::ResultsEmitter(std::ostream& console) : console_(&console) {}
+ResultsEmitter::ResultsEmitter() : console_(&std::cout) {}
+
+void ResultsEmitter::open_jsonl(const std::string& path) {
+  file_.open(path, std::ios::out | std::ios::trunc);
+  if (!file_) {
+    throw std::runtime_error("cannot open JSONL results file: " + path);
+  }
+  has_file_ = true;
+  file_path_ = path;
+}
+
+void ResultsEmitter::emit_object(const std::string& json_object) {
+  *console_ << "BENCH_JSON " << json_object << "\n";
+  if (has_file_) {
+    file_ << json_object << "\n" << std::flush;
+    if (!file_) {
+      throw std::runtime_error("write to JSONL results file failed: " +
+                               file_path_);
+    }
+  }
+}
+
+void ResultsEmitter::emit_point(const std::string& name, std::size_t n,
+                                std::size_t reps, double mean,
+                                double stderr_mean, double wall_seconds) {
+  JsonObjectWriter w;
+  w.str_field("bench", name)
+      .int_field("n", n)
+      .int_field("reps", reps)
+      .num_field("mean", mean)
+      .num_field("stderr", stderr_mean);
+  if (wall_seconds < 0.0) {
+    w.null_field("wall_s");
+  } else {
+    w.num_field("wall_s", wall_seconds);
+  }
+  emit_object(w.str());
+}
+
+void ResultsEmitter::emit_fit(const std::string& name,
+                              const ScalingSeries& series) {
+  const bool has_ci = series.slope_ci.replicates > 0;
+  JsonObjectWriter w;
+  w.str_field("bench", name).str_field("kind", "fit");
+  if (series.has_fit()) {
+    w.num_field("slope", series.fit.slope)
+        .num_field("slope_stderr", series.fit.slope_stderr)
+        .num_field("r2", series.fit.r_squared)
+        .num_field("wslope", series.weighted_fit.slope)
+        .num_field("wslope_stderr", series.weighted_fit.slope_stderr);
+  } else {
+    w.null_field("slope")
+        .null_field("slope_stderr")
+        .null_field("r2")
+        .null_field("wslope")
+        .null_field("wslope_stderr");
+  }
+  if (has_ci) {
+    w.num_field("ci_lo", series.slope_ci.lo)
+        .num_field("ci_hi", series.slope_ci.hi);
+  } else {
+    w.null_field("ci_lo").null_field("ci_hi");
+  }
+  w.int_field("ci_reps", series.slope_ci.replicates)
+      .int_field("points", series.points.size())
+      .int_field("excluded", series.excluded.size());
+  emit_object(w.str());
+}
+
+void print_scaling(const std::string& title, const ScalingSeries& series,
+                   const std::string& quantity, double theory_slope,
+                   const std::string& theory_label,
+                   ResultsEmitter& emitter) {
+  std::ostream& out = emitter.console();
+  Table t(title, {"n", quantity, "stderr", "min", "max"});
+  for (const auto& pt : series.points) {
+    t.row()
+        .integer(pt.n)
+        .num(pt.summary.mean, 2)
+        .num(pt.summary.stderr_mean, 2)
+        .num(pt.summary.min, 1)
+        .num(pt.summary.max, 1);
+  }
+  t.print(out);
+  if (series.has_fit()) {
+    out << "fitted exponent: " << format_double(series.fit.slope, 3)
+        << " +/- " << format_double(series.fit.slope_stderr, 3);
+    if (series.slope_ci.replicates > 0) {
+      out << "  [boot " << format_double(series.slope_ci.lo, 3) << ", "
+          << format_double(series.slope_ci.hi, 3) << "]";
+    }
+    out << "  (R^2 " << format_double(series.fit.r_squared, 3)
+        << ", weighted " << format_double(series.weighted_fit.slope, 3)
+        << " +/- " << format_double(series.weighted_fit.slope_stderr, 3)
+        << ")   theory " << theory_label << ": "
+        << format_double(theory_slope, 3) << "\n";
+  } else {
+    out << "no usable fit ("
+        << (series.points.size() - series.excluded.size())
+        << " fittable points)   theory " << theory_label << ": "
+        << format_double(theory_slope, 3) << "\n";
+  }
+  if (!series.excluded.empty()) {
+    out << "excluded from fit (non-positive mean):";
+    for (const std::size_t n : series.excluded) out << " n=" << n;
+    out << "\n";
+  }
+  out << "\n";
+  for (const auto& pt : series.points) {
+    emitter.emit_point(title, pt.n, pt.summary.count, pt.summary.mean,
+                       pt.summary.stderr_mean, /*wall_seconds=*/-1.0);
+  }
+  emitter.emit_fit(title, series);
+}
+
+LargeRunPlan plan_large_run(bool quick, const std::string& checkpoint_path,
+                            std::size_t threads) {
+  LargeRunPlan plan;
+  plan.sizes = quick ? geometric_sizes(4096, 16384, 3)
+                     : geometric_sizes(65536, 2097152, 6);
+  plan.reps = quick ? 2 : 3;
+  plan.options.threads = threads;  // 0 = shared pool; measure lambdas must
+                                   // be thread-safe
+  plan.options.checkpoint_path = checkpoint_path;
+  plan.options.bootstrap_replicates = quick ? 100 : 400;
+  return plan;
+}
+
+int report_large_run(const std::string& title, const LargeRunPlan& plan,
+                     const ScalingSeries& series, const std::string& quantity,
+                     double theory_slope, const std::string& theory_label,
+                     double wall_seconds, ResultsEmitter& emitter) {
+  print_scaling(title, series, quantity, theory_slope, theory_label, emitter);
+  emitter.console() << "grid " << plan.sizes.front() << " .. "
+                    << plan.sizes.back() << " (" << plan.sizes.size()
+                    << " sizes x " << plan.reps << " reps), wall "
+                    << format_double(wall_seconds, 1) << " s\n";
+  if (!series.has_fit()) {
+    std::cerr << title << ": no usable exponent fit ("
+              << series.excluded.size() << " of " << series.points.size()
+              << " points excluded)\n";
+    return 1;
+  }
+  if (series.slope_ci.replicates == 0) {
+    std::cerr << title << ": bootstrap CI could not be computed\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace sfs::sim

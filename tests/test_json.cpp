@@ -1,0 +1,122 @@
+// sim/json: escape/unescape round-trips, number formatting, and the
+// object writer — the serialization layer under every BENCH_JSON line.
+#include "sim/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace {
+
+using sfs::sim::json_escape;
+using sfs::sim::json_num;
+using sfs::sim::json_unescape;
+using sfs::sim::JsonObjectWriter;
+
+std::string roundtrip(const std::string& s) {
+  std::string out;
+  EXPECT_TRUE(json_unescape(json_escape(s), out)) << "input: " << s;
+  return out;
+}
+
+TEST(JsonEscape, PlainStringsPassThrough) {
+  EXPECT_EQ(json_escape("bench e1"), "bench e1");
+  EXPECT_EQ(json_escape(""), "");
+}
+
+TEST(JsonEscape, QuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+}
+
+TEST(JsonEscape, ControlCharactersBecomeUnicodeEscapes) {
+  EXPECT_EQ(json_escape(std::string("a\nb")), "a\\u000ab");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(json_escape(std::string(1, '\x1f')), "\\u001f");
+}
+
+TEST(JsonEscape, Utf8PassesThrough) {
+  const std::string moori = "M\xc3\xb3ri";  // "Móri"
+  EXPECT_EQ(json_escape(moori), moori);
+}
+
+TEST(JsonRoundTrip, EveryEscapeClass) {
+  EXPECT_EQ(roundtrip("plain"), "plain");
+  EXPECT_EQ(roundtrip("quote \" backslash \\ slash /"),
+            "quote \" backslash \\ slash /");
+  EXPECT_EQ(roundtrip(std::string("tab\tnewline\ncr\r")),
+            std::string("tab\tnewline\ncr\r"));
+  EXPECT_EQ(roundtrip(std::string(1, '\x00') + "x"),
+            std::string(1, '\x00') + "x");
+  EXPECT_EQ(roundtrip("M\xc3\xb3ri p=0.5"), "M\xc3\xb3ri p=0.5");
+}
+
+TEST(JsonUnescape, NamedEscapes) {
+  std::string out;
+  ASSERT_TRUE(json_unescape("\\b\\f\\n\\r\\t\\/\\\\\\\"", out));
+  EXPECT_EQ(out, "\b\f\n\r\t/\\\"");
+}
+
+TEST(JsonUnescape, UnicodeEscapeDecodesToUtf8) {
+  std::string out;
+  ASSERT_TRUE(json_unescape("\\u00e9", out));  // é
+  EXPECT_EQ(out, "\xc3\xa9");
+  ASSERT_TRUE(json_unescape("\\u20ac", out));  // €
+  EXPECT_EQ(out, "\xe2\x82\xac");
+}
+
+TEST(JsonUnescape, SurrogatePairDecodes) {
+  std::string out;
+  ASSERT_TRUE(json_unescape("\\ud83d\\ude00", out));  // 😀 U+1F600
+  EXPECT_EQ(out, "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonUnescape, MalformedInputsRejected) {
+  std::string out;
+  EXPECT_FALSE(json_unescape("trailing\\", out));
+  EXPECT_FALSE(json_unescape("\\q", out));
+  EXPECT_FALSE(json_unescape("\\u12", out));      // truncated hex
+  EXPECT_FALSE(json_unescape("\\u12zz", out));    // bad hex digit
+  EXPECT_FALSE(json_unescape("\\ud800x", out));   // unpaired high surrogate
+  EXPECT_FALSE(json_unescape("\\udc00", out));    // lone low surrogate
+  EXPECT_FALSE(json_unescape("\\ud83d\\u0041", out));  // bad pair
+}
+
+TEST(JsonNum, FixedSixDecimals) {
+  EXPECT_EQ(json_num(1.5), "1.500000");
+  EXPECT_EQ(json_num(0.0), "0.000000");
+  EXPECT_EQ(json_num(-2.25), "-2.250000");
+}
+
+TEST(JsonNum, NonFiniteSerializesAsNull) {
+  EXPECT_EQ(json_num(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json_num(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_num(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonObjectWriter, BuildsFieldsInInsertionOrder) {
+  JsonObjectWriter w;
+  w.str_field("bench", "e1")
+      .int_field("n", 4096)
+      .num_field("mean", 686.0)
+      .bool_field("quick", true)
+      .null_field("wall_s")
+      .raw_field("extra", "[1,2]");
+  EXPECT_EQ(w.str(),
+            "{\"bench\":\"e1\",\"n\":4096,\"mean\":686.000000,"
+            "\"quick\":true,\"wall_s\":null,\"extra\":[1,2]}");
+}
+
+TEST(JsonObjectWriter, EmptyObject) {
+  EXPECT_EQ(JsonObjectWriter{}.str(), "{}");
+}
+
+TEST(JsonObjectWriter, KeysAndValuesAreEscaped) {
+  JsonObjectWriter w;
+  w.str_field("a\"b", "c\\d");
+  EXPECT_EQ(w.str(), "{\"a\\\"b\":\"c\\\\d\"}");
+}
+
+}  // namespace
