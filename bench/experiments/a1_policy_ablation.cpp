@@ -23,9 +23,17 @@ void ablate(ExperimentContext& ctx, const std::string& title,
             const sfs::sim::GraphFactory& factory,
             const sfs::sim::EndpointSelector& endpoints, std::size_t n,
             std::size_t reps) {
-  const auto cost = sfs::sim::measure_weak_portfolio(
-      factory, endpoints, reps, ctx.stream_seed(title),
-      sfs::search::RunBudget{.max_raw_requests = 40 * n}, ctx.threads());
+  const auto cost = sfs::sim::measure_portfolio({
+      // --policies narrows the ablation to the named weak policies
+      // (default: the full registered weak portfolio).
+      .policies = ctx.options.policies,
+      .factory = factory,
+      .endpoints = endpoints,
+      .reps = reps,
+      .seed = ctx.stream_seed(title),
+      .budget = {.max_raw_requests = 40 * n},
+      .threads = ctx.threads(),
+  });
   sfs::sim::Table t(title, {"policy", "mean requests", "median", "p90",
                             "found frac"});
   for (const auto& pol : cost.policies) {
@@ -79,7 +87,8 @@ const sfs::sim::ExperimentRegistrar reg_a1({
     .claim = "No policy escapes sqrt(n) for the newest target; policy "
              "choice dominates for old targets",
     .caps = sfs::sim::kCapQuick | sfs::sim::kCapSingleSize | sfs::sim::kCapReps |
-            sfs::sim::kCapSeed | sfs::sim::kCapThreads,
+            sfs::sim::kCapSeed | sfs::sim::kCapThreads |
+            sfs::sim::kCapPolicies,
     .params =
         {
             {"--n", "size", "8192 (quick: 2048)", "graph size"},
@@ -89,6 +98,8 @@ const sfs::sim::ExperimentRegistrar reg_a1({
              "base seed; one stream per configuration"},
             {"--threads", "count", "0 (shared pool)",
              "portfolio fan-out worker count"},
+            {"--policies", "name list", "full weak portfolio",
+             "weak policies to ablate (registry names)"},
         },
     .run = run_a1,
 });

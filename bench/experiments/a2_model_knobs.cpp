@@ -28,9 +28,12 @@ using sfs::sim::ExperimentContext;
 
 double best_cost(const sfs::sim::GraphFactory& factory, std::size_t n,
                  std::uint64_t seed) {
-  const auto cost = sfs::sim::measure_weak_portfolio(
-      factory, sfs::sim::oldest_to_newest(), 1, seed,
-      sfs::search::RunBudget{.max_raw_requests = 40 * n});
+  const auto cost = sfs::sim::measure_portfolio({
+      .factory = factory,
+      .endpoints = sfs::sim::oldest_to_newest(),
+      .seed = seed,
+      .budget = {.max_raw_requests = 40 * n},
+  });
   return cost.best_policy().requests.mean;
 }
 

@@ -39,13 +39,17 @@ int run_e10(ExperimentContext& ctx) {
   for (const std::size_t n : sizes) {
     const auto bound = sfs::core::mori_lower_bound(
         p, n, bound_reps, ctx.stream_seed("bound n=" + std::to_string(n)));
-    const auto cost = sfs::sim::measure_weak_portfolio(
-        [n, p](Rng& rng) {
-          return sfs::gen::mori_tree(n, sfs::gen::MoriParams{p}, rng);
-        },
-        sfs::sim::oldest_to_newest(), cost_reps,
-        ctx.stream_seed("cost n=" + std::to_string(n)),
-        sfs::search::RunBudget{.max_raw_requests = 40 * n}, ctx.threads());
+    const auto cost = sfs::sim::measure_portfolio({
+        .factory =
+            [n, p](Rng& rng) {
+              return sfs::gen::mori_tree(n, sfs::gen::MoriParams{p}, rng);
+            },
+        .endpoints = sfs::sim::oldest_to_newest(),
+        .reps = cost_reps,
+        .seed = ctx.stream_seed("cost n=" + std::to_string(n)),
+        .budget = {.max_raw_requests = 40 * n},
+        .threads = ctx.threads(),
+    });
     const double measured = cost.best_policy().requests.mean;
     t.row()
         .integer(n)

@@ -33,10 +33,14 @@ void report(ExperimentContext& ctx, const std::string& model,
           return std::pair<sfs::graph::VertexId, sfs::graph::VertexId>{
               1, static_cast<sfs::graph::VertexId>(target - 1)};
         };
-    const auto cost = sfs::sim::measure_weak_portfolio(
-        factory, from_two, reps,
-        ctx.stream_seed(model + " target=" + std::to_string(target)),
-        sfs::search::RunBudget{.max_raw_requests = 40 * n}, ctx.threads());
+    const auto cost = sfs::sim::measure_portfolio({
+        .factory = factory,
+        .endpoints = from_two,
+        .reps = reps,
+        .seed = ctx.stream_seed(model + " target=" + std::to_string(target)),
+        .budget = {.max_raw_requests = 40 * n},
+        .threads = ctx.threads(),
+    });
     double greedy = 0.0;
     double bfs = 0.0;
     for (const auto& pol : cost.policies) {

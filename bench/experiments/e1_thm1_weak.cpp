@@ -32,14 +32,16 @@ void run_config(ExperimentContext& ctx, double p, std::size_t m,
       "p=" + sfs::sim::format_double(p, 2) + " m=" + std::to_string(m);
 
   auto portfolio_best = [&](std::size_t n, std::uint64_t seed) {
-    const auto cost = sfs::sim::measure_weak_portfolio(
-        [n, m, p](Rng& rng) {
-          return sfs::gen::merged_mori_graph(n, m, sfs::gen::MoriParams{p},
-                                             rng);
-        },
-        sfs::sim::oldest_to_newest(), 1, seed,
-        sfs::search::RunBudget{.max_raw_requests = 40 * n});
-    return cost;
+    return sfs::sim::measure_portfolio({
+        .factory =
+            [n, m, p](Rng& rng) {
+              return sfs::gen::merged_mori_graph(n, m,
+                                                 sfs::gen::MoriParams{p}, rng);
+            },
+        .endpoints = sfs::sim::oldest_to_newest(),
+        .seed = seed,
+        .budget = {.max_raw_requests = 40 * n},
+    });
   };
 
   // Scaling of the portfolio-best cost.
@@ -55,14 +57,18 @@ void run_config(ExperimentContext& ctx, double p, std::size_t m,
       "Omega exponent", *ctx.emitter);
 
   // Per-policy breakdown at the largest size.
-  const auto big = sfs::sim::measure_weak_portfolio(
-      [&](Rng& rng) {
-        return sfs::gen::merged_mori_graph(sizes.back(), m,
-                                           sfs::gen::MoriParams{p}, rng);
-      },
-      sfs::sim::oldest_to_newest(), reps, ctx.stream_seed("detail " + tag),
-      sfs::search::RunBudget{.max_raw_requests = 40 * sizes.back()},
-      ctx.threads());
+  const auto big = sfs::sim::measure_portfolio({
+      .factory =
+          [&](Rng& rng) {
+            return sfs::gen::merged_mori_graph(sizes.back(), m,
+                                               sfs::gen::MoriParams{p}, rng);
+          },
+      .endpoints = sfs::sim::oldest_to_newest(),
+      .reps = reps,
+      .seed = ctx.stream_seed("detail " + tag),
+      .budget = {.max_raw_requests = 40 * sizes.back()},
+      .threads = ctx.threads(),
+  });
   sfs::sim::Table t("E1 detail: per-policy cost at n=" +
                         std::to_string(sizes.back()) + " (" + tag + ")",
                     {"policy", "mean requests", "stderr", "found frac"});
@@ -94,8 +100,8 @@ int run_grid(ExperimentContext& ctx) {
                              sfs::gen::GenScratch&)>
       measure = [&](std::size_t n, std::uint64_t seed,
                     sfs::gen::GenScratch& scratch) {
-        const auto cost = sfs::sim::measure_weak_portfolio(
-            sfs::sim::ScratchGraphFactory(
+        const auto cost = sfs::sim::measure_portfolio({
+            .scratch_factory =
                 [&scratch, n, m, p](Rng& rng, sfs::gen::GenScratch&,
                                     Graph& out) {
                   // The inner portfolio runs sequentially inside this
@@ -104,10 +110,11 @@ int run_grid(ExperimentContext& ctx) {
                   // keeps generator buffers warm across the whole grid.
                   sfs::gen::merged_mori_graph(n, m, sfs::gen::MoriParams{p},
                                               rng, scratch, out);
-                }),
-            sfs::sim::oldest_to_newest(), 1, seed,
-            sfs::search::RunBudget{.max_raw_requests = 40 * n},
-            /*threads=*/1);
+                },
+            .endpoints = sfs::sim::oldest_to_newest(),
+            .seed = seed,
+            .budget = {.max_raw_requests = 40 * n},
+        });
         return cost.best_policy().requests.mean;
       };
   const auto series = sfs::sim::measure_scaling(plan.sizes, plan.reps,

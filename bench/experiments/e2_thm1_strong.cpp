@@ -31,11 +31,15 @@ void run_p(ExperimentContext& ctx, double p,
   const auto series = sfs::sim::measure_scaling(
       sizes, reps, ctx.stream_seed("sweep " + tag),
       [&](std::size_t n, std::uint64_t seed) {
-        const auto cost = sfs::sim::measure_strong_portfolio(
-            [n, p](Rng& rng) {
-              return sfs::gen::mori_tree(n, sfs::gen::MoriParams{p}, rng);
-            },
-            sfs::sim::oldest_to_newest(), 1, seed);
+        const auto cost = sfs::sim::measure_portfolio({
+            .model = sfs::search::KnowledgeModel::kStrong,
+            .factory =
+                [n, p](Rng& rng) {
+                  return sfs::gen::mori_tree(n, sfs::gen::MoriParams{p}, rng);
+                },
+            .endpoints = sfs::sim::oldest_to_newest(),
+            .seed = seed,
+        });
         return cost.best_policy().requests.mean;
       },
       ctx.threads());
@@ -44,13 +48,18 @@ void run_p(ExperimentContext& ctx, double p,
       "best requests", sfs::core::theory::strong_lower_bound_exponent(p),
       "Omega exponent 1/2-p", *ctx.emitter);
 
-  const auto big = sfs::sim::measure_strong_portfolio(
-      [&](Rng& rng) {
-        return sfs::gen::mori_tree(sizes.back(), sfs::gen::MoriParams{p},
-                                   rng);
-      },
-      sfs::sim::oldest_to_newest(), reps, ctx.stream_seed("detail " + tag),
-      sfs::search::RunBudget{}, ctx.threads());
+  const auto big = sfs::sim::measure_portfolio({
+      .model = sfs::search::KnowledgeModel::kStrong,
+      .factory =
+          [&](Rng& rng) {
+            return sfs::gen::mori_tree(sizes.back(), sfs::gen::MoriParams{p},
+                                       rng);
+          },
+      .endpoints = sfs::sim::oldest_to_newest(),
+      .reps = reps,
+      .seed = ctx.stream_seed("detail " + tag),
+      .threads = ctx.threads(),
+  });
   sfs::sim::Table t("E2 detail: per-policy cost at n=" +
                         std::to_string(sizes.back()) + " (" + tag + ")",
                     {"policy", "mean requests", "stderr", "found frac"});
@@ -81,17 +90,19 @@ int run_grid(ExperimentContext& ctx) {
                              sfs::gen::GenScratch&)>
       measure = [&](std::size_t n, std::uint64_t seed,
                     sfs::gen::GenScratch& scratch) {
-        const auto cost = sfs::sim::measure_strong_portfolio(
-            sfs::sim::ScratchGraphFactory(
+        const auto cost = sfs::sim::measure_portfolio({
+            .model = sfs::search::KnowledgeModel::kStrong,
+            .scratch_factory =
                 [&scratch, n, p](Rng& rng, sfs::gen::GenScratch&,
                                  Graph& out) {
                   // Sequential inner portfolio: reuse the sweep-level
                   // per-worker scratch across the whole grid.
                   sfs::gen::mori_tree(n, sfs::gen::MoriParams{p}, rng,
                                       scratch, out);
-                }),
-            sfs::sim::oldest_to_newest(), 1, seed, sfs::search::RunBudget{},
-            /*threads=*/1);
+                },
+            .endpoints = sfs::sim::oldest_to_newest(),
+            .seed = seed,
+        });
         return cost.best_policy().requests.mean;
       };
   const auto series = sfs::sim::measure_scaling(plan.sizes, plan.reps,

@@ -73,12 +73,16 @@ int run_e3(ExperimentContext& ctx) {
     const auto series = sfs::sim::measure_scaling(
         sizes, reps, ctx.stream_seed(preset.name),
         [&](std::size_t n, std::uint64_t seed) {
-          const auto cost = sfs::sim::measure_weak_portfolio(
-              [&, n](Rng& rng) {
-                return sfs::gen::cooper_frieze(n, preset.params, rng).graph;
-              },
-              sfs::sim::oldest_to_newest(), 1, seed,
-              sfs::search::RunBudget{.max_raw_requests = 40 * n});
+          const auto cost = sfs::sim::measure_portfolio({
+              .factory =
+                  [&, n](Rng& rng) {
+                    return sfs::gen::cooper_frieze(n, preset.params, rng)
+                        .graph;
+                  },
+              .endpoints = sfs::sim::oldest_to_newest(),
+              .seed = seed,
+              .budget = {.max_raw_requests = 40 * n},
+          });
           return cost.best_policy().requests.mean;
         },
         ctx.threads());

@@ -63,13 +63,18 @@ Measurement run_once(std::size_t n, std::size_t reps, std::uint64_t seed,
   const double p = 0.5;
   sfs::sim::WallTimer timer;
   Measurement out;
-  out.cost = sfs::sim::measure_weak_portfolio(
-      [n, m, p](Rng& rng) {
-        return sfs::gen::merged_mori_graph(n, m, sfs::gen::MoriParams{p},
-                                           rng);
-      },
-      sfs::sim::oldest_to_newest(), reps, seed,
-      sfs::search::RunBudget{.max_raw_requests = 40 * n}, threads);
+  out.cost = sfs::sim::measure_portfolio({
+      .factory =
+          [n, m, p](Rng& rng) {
+            return sfs::gen::merged_mori_graph(n, m, sfs::gen::MoriParams{p},
+                                               rng);
+          },
+      .endpoints = sfs::sim::oldest_to_newest(),
+      .reps = reps,
+      .seed = seed,
+      .budget = {.max_raw_requests = 40 * n},
+      .threads = threads,
+  });
   out.wall_s = timer.seconds();
   const std::size_t policies = out.cost.policies.size();
   out.throughput =

@@ -8,7 +8,14 @@
 //       core decomposition, assortativity. --json emits one machine-
 //       readable JSON object instead of the table (sim/json).
 //   sfsearch_cli search <in.graph> <start> <target> [weak|strong]
-//       runs the full portfolio from <start> (1-based paper ids).
+//                [--policies a,b,c]
+//       runs the portfolio from <start> (1-based paper ids); --policies
+//       selects registered policies by name (default: the model's full
+//       portfolio).
+//   sfsearch_cli policies [--list|--json]
+//       prints the policy registry (name, model, description); --json
+//       emits one JSON object per policy (sim/json), matching
+//       sfs_bench --list.
 //   sfsearch_cli bound <p> <n>
 //       prints the Theorem 1 lower-bound estimate for finding vertex n.
 //
@@ -29,9 +36,9 @@
 #include "graph/degree.hpp"
 #include "graph/io.hpp"
 #include "graph/structure.hpp"
+#include "search/policy.hpp"
 #include "search/runner.hpp"
-#include "search/strong_algorithms.hpp"
-#include "search/weak_algorithms.hpp"
+#include "sim/experiment.hpp"
 #include "sim/json.hpp"
 #include "sim/table.hpp"
 #include "stats/powerlaw.hpp"
@@ -49,7 +56,9 @@ int usage() {
          "      model: mori[:p] merged-mori[:p,m] cf[:alpha] ba[:m] "
          "config[:k] er[:avg-deg]\n"
          "  sfsearch_cli stats <in.graph> [--json]\n"
-         "  sfsearch_cli search <in.graph> <start> <target> [weak|strong]\n"
+         "  sfsearch_cli search <in.graph> <start> <target> [weak|strong]"
+         " [--policies a,b,c]\n"
+         "  sfsearch_cli policies [--list|--json]\n"
          "  sfsearch_cli bound <p> <n>\n";
   return 1;
 }
@@ -211,7 +220,21 @@ int cmd_search(const std::vector<std::string>& args) {
   const std::size_t start_paper = std::strtoull(args[1].c_str(), nullptr, 10);
   const std::size_t target_paper =
       std::strtoull(args[2].c_str(), nullptr, 10);
-  const std::string model = args.size() > 3 ? args[3] : "weak";
+  std::string model_arg = "weak";
+  std::vector<std::string> policy_names;
+  for (std::size_t i = 3; i < args.size(); ++i) {
+    if (args[i] == "--policies") {
+      if (i + 1 >= args.size() ||
+          !sfs::sim::parse_name_list(args[++i], policy_names)) {
+        std::cerr << "--policies expects a comma-separated name list\n";
+        return 1;
+      }
+    } else if (args[i] == "weak" || args[i] == "strong") {
+      model_arg = args[i];
+    } else {
+      return usage();
+    }
+  }
   if (start_paper < 1 || start_paper > g.num_vertices() || target_paper < 1 ||
       target_paper > g.num_vertices()) {
     std::cerr << "start/target must be paper ids in [1, n]\n";
@@ -219,39 +242,67 @@ int cmd_search(const std::vector<std::string>& args) {
   }
   const auto start = static_cast<VertexId>(start_paper - 1);
   const auto target = static_cast<VertexId>(target_paper - 1);
+  const auto model = model_arg == "weak" ? sfs::search::KnowledgeModel::kWeak
+                                         : sfs::search::KnowledgeModel::kStrong;
 
+  // Policy selection by registry name (empty = the model's full
+  // portfolio), replacing the hard-coded portfolio list calls.
+  const auto specs = sfs::search::resolve_policies(model, policy_names);
   sfs::sim::Table t("search " + std::to_string(start_paper) + " -> " +
-                        std::to_string(target_paper) + " (" + model + ")",
+                        std::to_string(target_paper) + " (" + model_arg + ")",
                     {"policy", "requests", "raw", "path len", "found"});
-  if (model == "weak") {
-    for (auto& policy : sfs::search::weak_portfolio()) {
-      Rng rng(42);
-      const auto r = sfs::search::run_weak(
+  for (const auto* spec : specs) {
+    Rng rng(42);
+    sfs::search::SearchResult r;
+    if (model == sfs::search::KnowledgeModel::kWeak) {
+      const auto policy = spec->make_weak();
+      r = sfs::search::run_weak(
           g, start, target, *policy, rng,
-          sfs::search::RunBudget{.max_raw_requests =
-                                     100 * g.num_vertices()});
-      t.row()
-          .cell(policy->name())
-          .integer(r.requests)
-          .integer(r.raw_requests)
-          .integer(r.path_length)
-          .cell(r.found ? "yes" : "no");
+          sfs::search::RunBudget{.max_raw_requests = 100 * g.num_vertices()});
+    } else {
+      const auto policy = spec->make_strong();
+      r = sfs::search::run_strong(g, start, target, *policy, rng);
     }
-  } else if (model == "strong") {
-    for (auto& policy : sfs::search::strong_portfolio()) {
-      Rng rng(42);
-      const auto r = sfs::search::run_strong(g, start, target, *policy, rng);
-      t.row()
-          .cell(policy->name())
-          .integer(r.requests)
-          .integer(r.raw_requests)
-          .integer(r.path_length)
-          .cell(r.found ? "yes" : "no");
-    }
-  } else {
-    return usage();
+    t.row()
+        .cell(spec->name)
+        .integer(r.requests)
+        .integer(r.raw_requests)
+        .integer(r.path_length)
+        .cell(r.found ? "yes" : "no");
   }
   t.print(std::cout);
+  return 0;
+}
+
+int cmd_policies(const std::vector<std::string>& args) {
+  if (args.size() > 1) return usage();
+  const bool as_json = args.size() == 1 && args[0] == "--json";
+  if (!as_json && args.size() == 1 && args[0] != "--list") return usage();
+  const auto specs = sfs::search::PolicyRegistry::instance().all();
+  if (as_json) {
+    // One JSON object per policy (JSONL), the machine-readable mirror of
+    // the table below.
+    for (const auto* spec : specs) {
+      sfs::sim::JsonObjectWriter json;
+      json.str_field("name", spec->name);
+      json.str_field("model", std::string(sfs::search::model_name(spec->model)));
+      json.str_field("description", spec->description);
+      std::cout << json.str() << "\n";
+    }
+    return 0;
+  }
+  sfs::sim::Table t("registered search policies (" +
+                        std::to_string(specs.size()) + ")",
+                    {"name", "model", "description"});
+  for (const auto* spec : specs) {
+    t.row()
+        .cell(spec->name)
+        .cell(std::string(sfs::search::model_name(spec->model)))
+        .cell(spec->description);
+  }
+  t.print(std::cout);
+  std::cout << "\nselect with: sfsearch_cli search <graph> <s> <t> "
+               "[weak|strong] --policies a,b  (or sfs_bench --policies)\n";
   return 0;
 }
 
@@ -280,6 +331,7 @@ int main(int argc, char** argv) {
     if (cmd == "generate") return cmd_generate(args);
     if (cmd == "stats") return cmd_stats(args);
     if (cmd == "search") return cmd_search(args);
+    if (cmd == "policies") return cmd_policies(args);
     if (cmd == "bound") return cmd_bound(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -1,0 +1,96 @@
+#include "search/query_engine.hpp"
+
+#include <string>
+
+#include "base/check.hpp"
+#include "rng/stream_audit.hpp"
+#include "sim/parallel.hpp"
+#include "sim/worker_context.hpp"
+
+namespace sfs::search {
+
+namespace {
+
+// Per-query stream tag. Tempered through mix64 like the sweep's endpoint
+// and policy tags (raw XOR tags alias across sessions whose seeds differ
+// by a small XOR delta; see sim/sweep.cpp). The audit triple is
+// (options.seed, kQueryStream, batch index).
+const std::uint64_t kQueryStream = rng::mix64(0x10e57ULL);  // "lookup query"
+
+}  // namespace
+
+struct QueryEngine::Session {
+  std::unique_ptr<WeakSearcher> weak;      // set iff model == kWeak
+  std::unique_ptr<StrongSearcher> strong;  // set iff model == kStrong
+  sim::WorkerContext ctx;
+};
+
+QueryEngine::QueryEngine(const graph::Graph& g, std::string_view policy,
+                         QueryEngineOptions options)
+    : graph_(&g), options_(options) {
+  spec_ = PolicyRegistry::instance().find(policy);
+  if (spec_ == nullptr) {
+    throw std::invalid_argument(
+        "QueryEngine: unknown policy '" + std::string(policy) +
+        "' (see sfsearch_cli policies for the registry)");
+  }
+}
+
+QueryEngine::~QueryEngine() = default;
+
+void QueryEngine::ensure_sessions(std::size_t workers) {
+  while (sessions_.size() < workers) {
+    auto session = std::make_unique<Session>();
+    if (spec_->model == KnowledgeModel::kWeak) {
+      session->weak = spec_->make_weak();
+    } else {
+      session->strong = spec_->make_strong();
+    }
+    sessions_.push_back(std::move(session));
+  }
+}
+
+void QueryEngine::run_batch(std::span<const Query> queries,
+                            std::span<SearchResult> results,
+                            std::size_t threads) {
+  SFS_REQUIRE(results.size() == queries.size(),
+              "QueryEngine::run_batch: results span must match the batch "
+              "size");
+  // Validate the whole batch before running any of it: a malformed query
+  // in the middle of a parallel batch must not leave half-written results.
+  const std::size_t n = graph_->num_vertices();
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    SFS_REQUIRE(queries[i].start < n && queries[i].target < n,
+                "QueryEngine::run_batch: query " + std::to_string(i) +
+                    " has endpoints outside the graph");
+  }
+  if (queries.empty()) return;
+
+  ensure_sessions(sim::resolve_worker_count(threads));
+  sim::parallel_for(
+      queries.size(), threads, [&](std::size_t i, std::size_t worker) {
+        Session& session = *sessions_[worker];
+        // Streams depend only on (seed, batch index): identical for any
+        // thread count, and replayable for a fixed batch.
+        rng::Rng rng(rng::audited_stream_seed(options_.seed, kQueryStream, i));
+        const Query& q = queries[i];
+        if (spec_->model == KnowledgeModel::kWeak) {
+          results[i] = run_weak(*graph_, q.start, q.target, *session.weak,
+                                rng, options_.budget, session.ctx.workspace);
+        } else {
+          results[i] = run_strong(*graph_, q.start, q.target, *session.strong,
+                                  rng, options_.budget,
+                                  session.ctx.workspace);
+        }
+      });
+  queries_served_ += queries.size();
+}
+
+std::vector<SearchResult> QueryEngine::run_batch(std::span<const Query> queries,
+                                                 std::size_t threads) {
+  std::vector<SearchResult> results(queries.size());
+  run_batch(queries, results, threads);
+  return results;
+}
+
+}  // namespace sfs::search

@@ -1,0 +1,110 @@
+// QueryEngine: batched search over ONE fixed, long-lived graph.
+//
+// The replication harnesses in sim/ answer "how expensive is a search on a
+// fresh random graph?" — one query per generated graph. The paper's model
+// also implies the opposite regime, the one P2P resource-discovery systems
+// actually run: a single long-lived overlay serving many lookups (Adamic
+// et al.'s Gnutella measurements; the dynamic-hypercube and
+// resource-discovery systems in PAPERS.md). Nothing in-tree could express
+// it without re-paying graph construction and workspace setup per query.
+//
+// A QueryEngine owns the per-session state for that regime: it binds to
+// one graph and one registered policy (search/policy.hpp), keeps one
+// searcher instance + SearchWorkspace per worker (sim::WorkerContext), and
+// runs query batches with deterministic per-query RNG streams:
+//
+//   query i of a batch draws its randomness from
+//   derive_stream_seed(options.seed, kQueryStream, i)
+//
+// so a batch is a pure function of (graph, policy, options.seed, queries) —
+// bit-identical for any thread count, including sequential, and replayable
+// (re-running the same batch reproduces it — the property the seq-vs-pool
+// audits in m5_query_engine and tests/test_query_engine rely on).
+// Corollary: the stream index is the position WITHIN a batch, not a
+// session-global counter, so query i of batch A and query i of batch B
+// share randomness. Do not pool statistics across repeated same-seed
+// batches as if they were independent samples; give each logical batch
+// its own engine seed (or one big batch) when independence matters.
+// Derivations go through the audited wrapper, so a batch run under
+// SFS_RNG_AUDIT=1 verifies its stream plan (rng/stream_audit.hpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "search/policy.hpp"
+#include "search/runner.hpp"
+
+namespace sfs::search {
+
+/// One lookup: find `target` starting from `start` (internal 0-based ids).
+struct Query {
+  graph::VertexId start = graph::kNoVertex;
+  graph::VertexId target = graph::kNoVertex;
+  friend bool operator==(const Query&, const Query&) = default;
+};
+
+struct QueryEngineOptions {
+  /// Budget applied to every query (see search/runner.hpp). The default is
+  /// uncapped, which terminates for exhaustive policies; give walk
+  /// policies a max_raw_requests cap.
+  RunBudget budget;
+  /// Base seed of the session's per-query streams.
+  std::uint64_t seed = 0;
+};
+
+class QueryEngine {
+ public:
+  /// Binds to `g` and the registered policy named `policy` (any model;
+  /// the model is read off the policy's spec). Throws
+  /// std::invalid_argument on an unknown policy name. The graph must
+  /// outlive the engine.
+  QueryEngine(const graph::Graph& g, std::string_view policy,
+              QueryEngineOptions options = {});
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  [[nodiscard]] const graph::Graph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] const PolicySpec& policy() const noexcept { return *spec_; }
+  [[nodiscard]] KnowledgeModel model() const noexcept { return spec_->model; }
+  [[nodiscard]] const QueryEngineOptions& options() const noexcept {
+    return options_;
+  }
+  /// Total queries run through this engine so far (all batches).
+  [[nodiscard]] std::size_t queries_served() const noexcept {
+    return queries_served_;
+  }
+
+  /// Runs every query; results[i] answers queries[i]. `threads` selects
+  /// the fan-out: 1 (default) = sequential, 0 = the shared pool, n = a
+  /// pool of n workers — bit-identical in all cases (per-query streams
+  /// depend only on the batch index). Validates every query's endpoints
+  /// against the graph before running anything. `results` must be exactly
+  /// queries.size() long.
+  void run_batch(std::span<const Query> queries,
+                 std::span<SearchResult> results, std::size_t threads = 1);
+
+  /// Allocating convenience overload.
+  [[nodiscard]] std::vector<SearchResult> run_batch(
+      std::span<const Query> queries, std::size_t threads = 1);
+
+ private:
+  struct Session;
+  void ensure_sessions(std::size_t workers);
+
+  const graph::Graph* graph_;
+  const PolicySpec* spec_;
+  QueryEngineOptions options_;
+  /// One session (searcher instance + WorkerContext) per worker index,
+  /// grown on demand and reused across batches: steady-state batches
+  /// allocate nothing in the engine itself.
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::size_t queries_served_ = 0;
+};
+
+}  // namespace sfs::search

@@ -55,9 +55,9 @@ class StrongSearcher {
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
-/// Factory signatures used by the experiment harness to make a fresh
-/// searcher per replication.
-using WeakSearcherFactory = std::unique_ptr<WeakSearcher> (*)();
-using StrongSearcherFactory = std::unique_ptr<StrongSearcher> (*)();
+// Policy factories are registered as model-tagged PolicySpec entries in
+// the policy registry (search/policy.hpp), which replaced the raw
+// WeakSearcherFactory/StrongSearcherFactory function-pointer typedefs of
+// the v1 API.
 
 }  // namespace sfs::search

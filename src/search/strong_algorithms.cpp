@@ -98,14 +98,7 @@ std::optional<VertexId> RandomStrong::next(const LocalView& view,
 void RandomStrong::observe(const LocalView&, VertexId,
                            std::span<const VertexId>) {}
 
-std::vector<std::unique_ptr<StrongSearcher>> strong_portfolio() {
-  std::vector<std::unique_ptr<StrongSearcher>> out;
-  out.push_back(make_degree_greedy_strong());
-  out.push_back(std::make_unique<BfsStrong>());
-  out.push_back(std::make_unique<RandomStrong>());
-  out.push_back(make_min_id_strong());
-  out.push_back(make_max_id_strong());
-  return out;
-}
+// strong_portfolio() is defined in policy.cpp, backed by the policy
+// registry.
 
 }  // namespace sfs::search

@@ -198,27 +198,7 @@ void RandomFrontierWeak::observe(const LocalView&, const WeakRequest&,
   frontier_.push_back(revealed);
 }
 
-// ---------------------------------------------------------------- portfolio
-
-std::vector<std::unique_ptr<WeakSearcher>> weak_portfolio() {
-  std::vector<std::unique_ptr<WeakSearcher>> out;
-  out.push_back(std::make_unique<BfsWeak>());
-  out.push_back(std::make_unique<DfsWeak>());
-  out.push_back(make_degree_greedy_weak());
-  out.push_back(make_min_id_greedy_weak());
-  out.push_back(make_max_id_greedy_weak());
-  out.push_back(std::make_unique<RandomFrontierWeak>());
-  out.push_back(std::make_unique<FrontierWalkWeak>());
-  out.push_back(std::make_unique<NoBacktrackWalkWeak>());
-  out.push_back(std::make_unique<RandomWalkWeak>());
-  out.push_back(make_simulated_degree_greedy());
-  return out;
-}
-
-std::vector<std::string> weak_portfolio_names() {
-  std::vector<std::string> names;
-  for (const auto& s : weak_portfolio()) names.push_back(s->name());
-  return names;
-}
+// The portfolio lists (weak_portfolio, weak_portfolio_names) are defined
+// in policy.cpp, backed by the policy registry.
 
 }  // namespace sfs::search

@@ -113,6 +113,7 @@ std::string flag_names(unsigned caps) {
   append(kCapReps, "--reps");
   append(kCapSeed, "--seed");
   append(kCapThreads, "--threads");
+  append(kCapPolicies, "--policies");
   append(kCapGbenchFlags, "--benchmark_*");
   if (!out.empty()) out += ' ';
   out += "--json";
@@ -120,6 +121,21 @@ std::string flag_names(unsigned caps) {
 }
 
 }  // namespace
+
+bool parse_name_list(const std::string& text, std::vector<std::string>& out) {
+  out.clear();
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const auto comma = text.find(',', pos);
+    const std::string tok =
+        text.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (tok.empty()) return false;
+    out.push_back(tok);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return !out.empty();
+}
 
 std::uint64_t experiment_seed(std::string_view name) noexcept {
   return rng::mix64(fnv1a64(name));
@@ -274,6 +290,15 @@ bool parse_experiment_cli(const std::vector<std::string>& args,
         return false;
       }
       out.options.has_threads = true;
+    } else if (arg == "--policies") {
+      if (!once(!out.options.policies.empty(), arg)) return false;
+      if (!value_of(i, value)) return false;
+      if (!parse_name_list(value, out.options.policies)) {
+        error = "--policies expects a comma-separated list of policy "
+                "names, got '" +
+                value + "'";
+        return false;
+      }
     } else if (arg == "--checkpoint") {
       if (!once(!out.options.checkpoint_path.empty(), arg)) return false;
       if (!value_of(i, out.options.checkpoint_path)) return false;
@@ -345,6 +370,9 @@ bool validate_experiment_options(const ExperimentSpec& spec,
   if (options.has_threads && !(spec.caps & kCapThreads)) {
     return reject("--threads");
   }
+  if (!options.policies.empty() && !(spec.caps & kCapPolicies)) {
+    return reject("--policies");
+  }
   if (!options.gbench_flags.empty() && !(spec.caps & kCapGbenchFlags)) {
     return reject(options.gbench_flags.front().c_str());
   }
@@ -369,8 +397,8 @@ void print_experiment_usage(std::ostream& out, const ExperimentSpec* spec) {
          "line\n"
          "  sfs_bench --run <name> [flags]   run one experiment\n"
          "flags: [--quick] [--large] [--sizes a,b,c | --n N] [--reps R]\n"
-         "       [--seed S] [--threads T] [--checkpoint <path>] "
-         "[--json <path>]\n";
+         "       [--seed S] [--threads T] [--policies a,b,c]\n"
+         "       [--checkpoint <path>] [--json <path>]\n";
   if (spec != nullptr) {
     out << "\nexperiment '" << spec->name << "': " << spec->title << "\n"
         << "supported flags: " << flag_names(spec->caps) << "\n";

@@ -55,6 +55,9 @@ enum ExperimentCaps : unsigned {
                              // with one problem size; longer lists exit 2
   kCapGbenchFlags = 1u << 8,  // --benchmark_*: passed through verbatim to
                               // google-benchmark (m1/m2)
+  kCapPolicies = 1u << 9,  // --policies a,b,c: run only the named search
+                           // policies (resolved against the policy
+                           // registry, search/policy.hpp)
 };
 
 /// Parsed shared-flag values for one run. Flags the user did not pass are
@@ -71,6 +74,11 @@ struct ExperimentOptions {
   bool has_threads = false;
   std::string checkpoint_path;
   std::string json_path;
+  /// --policies names (comma-separated on the command line; empty = the
+  /// experiment's default portfolio). Experiments pass this as the
+  /// RunPlan/QueryEngine policy filter; unknown names fail inside the run
+  /// with the registry's diagnostic.
+  std::vector<std::string> policies;
   /// --benchmark_* flags, forwarded verbatim to google-benchmark by the
   /// gbench experiments (rejected unless the spec has kCapGbenchFlags).
   std::vector<std::string> gbench_flags;
@@ -206,6 +214,14 @@ struct CliRequest {
   std::string run_name;  // empty unless --run given
   ExperimentOptions options;
 };
+
+/// Parses a comma-separated list of non-empty names ("rw,degree-greedy")
+/// into `out`; false (with `out` unspecified) on an empty string or an
+/// empty token. The --policies value parser, shared with sfsearch_cli.
+/// Membership in the policy registry is checked by the run itself
+/// (search/resolve_policies), not the CLI layer.
+[[nodiscard]] bool parse_name_list(const std::string& text,
+                                   std::vector<std::string>& out);
 
 /// Parses driver arguments (argv[1..]) into a CliRequest. Returns false
 /// with a diagnostic in `error` on an unknown flag, a flag missing its

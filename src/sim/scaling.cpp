@@ -13,6 +13,7 @@
 #include "rng/stream_audit.hpp"
 #include "sim/csv.hpp"
 #include "sim/parallel.hpp"
+#include "sim/worker_context.hpp"
 
 namespace sfs::sim {
 
@@ -362,13 +363,14 @@ ScalingSeries measure_scaling(
     const std::function<double(std::size_t, std::uint64_t,
                                gen::GenScratch&)>& measure,
     const ScalingOptions& options) {
-  // One generator scratch per worker, mirroring sim/sweep's WorkerState.
-  std::vector<gen::GenScratch> scratches(
-      resolve_worker_count(options.threads));
+  // One WorkerContext per worker (sim/worker_context.hpp) — the same
+  // per-worker scratch state sim/sweep and search/QueryEngine use; this
+  // harness only exercises its generator scratch.
+  std::vector<WorkerContext> workers(resolve_worker_count(options.threads));
   return measure_scaling_impl(
       sizes, reps, seed, options,
       [&](std::size_t n, std::uint64_t cell_seed, std::size_t worker) {
-        return measure(n, cell_seed, scratches[worker]);
+        return measure(n, cell_seed, workers[worker].gen_scratch);
       });
 }
 

@@ -2,39 +2,50 @@
 
 #include <algorithm>
 #include <limits>
+#include <span>
+#include <type_traits>
 
 #include "base/check.hpp"
 #include "rng/random.hpp"
 #include "rng/stream_audit.hpp"
+#include "search/policy.hpp"
 #include "sim/parallel.hpp"
+#include "sim/worker_context.hpp"
 
 namespace sfs::sim {
 
 using graph::VertexId;
 
+const PolicyCost& PortfolioCost::best_policy() const {
+  SFS_REQUIRE(!policies.empty(),
+              "best_policy() on an empty portfolio — this PortfolioCost "
+              "holds no policies (a default-constructed result, or a "
+              "measurement that never ran)");
+  SFS_CHECK(best < policies.size(), "best index out of range");
+  return policies[best];
+}
+
 namespace {
 
-// Per-worker reusable state: one search workspace (O(1) reset between
-// runs), one portfolio instance (policies fully reset in start()), and —
-// for the scratch-aware factories — one generator scratch plus a Graph
-// whose buffers are recycled across replications.
+// Per-worker reusable state: the shared WorkerContext (search workspace,
+// generator scratch, recycled graph slot — sim/worker_context.hpp) plus
+// one portfolio instance (policies fully reset in start()).
 template <typename Policies>
 struct WorkerState {
   Policies policies;
-  search::SearchWorkspace workspace;
-  gen::GenScratch gen_scratch;
-  graph::Graph graph;
+  WorkerContext ctx;
   bool initialized = false;
 };
 
 // MakeGraph: (rng, WorkerState&) -> const Graph&, so plain and
 // scratch-aware factories share the measurement loop.
 template <typename Portfolio, typename RunOne, typename MakeGraph>
-PortfolioCost measure_portfolio(const MakeGraph& make_graph,
-                                const EndpointSelector& endpoints,
-                                std::size_t reps, std::uint64_t seed,
-                                const Portfolio& portfolio_factory,
-                                const RunOne& run_one, std::size_t threads) {
+PortfolioCost measure_portfolio_impl(const MakeGraph& make_graph,
+                                     const EndpointSelector& endpoints,
+                                     std::size_t reps, std::uint64_t seed,
+                                     const Portfolio& portfolio_factory,
+                                     const RunOne& run_one,
+                                     std::size_t threads) {
   SFS_REQUIRE(reps >= 1, "need at least one replication");
   auto probe = portfolio_factory();
   const std::size_t num_policies = probe.size();
@@ -75,7 +86,7 @@ PortfolioCost measure_portfolio(const MakeGraph& make_graph,
       rng::Rng search_rng(
           rng::audited_stream_seed(seed, rng::mix64(0x5ea7c4 + i), rep));
       row[i] = run_one(g, start, target, *st.policies[i], search_rng,
-                       st.workspace);
+                       st.ctx.workspace);
     }
   });
 
@@ -111,7 +122,9 @@ PortfolioCost measure_portfolio(const MakeGraph& make_graph,
   }
 
   // Best: lowest mean charged requests, preferring always-successful
-  // policies over ones that missed the target in some replication.
+  // policies over ones that missed the target in some replication; an
+  // exactly equal mean keeps the earlier (lower-index) policy — see
+  // PortfolioCost::best.
   bool best_full = false;
   double best_mean = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < out.policies.size(); ++i) {
@@ -127,33 +140,36 @@ PortfolioCost measure_portfolio(const MakeGraph& make_graph,
 }
 
 // Adapts either factory flavor to the MakeGraph contract. The plain
-// factory's graph is parked in the worker slot too, so both paths hand the
-// measurement loop a stable reference.
+// factory's graph is parked in the worker context too, so both paths hand
+// the measurement loop a stable reference.
 template <typename State>
 const graph::Graph& remake_graph(const GraphFactory& factory, rng::Rng& rng,
                                  State& st) {
-  st.graph = factory(rng);
-  return st.graph;
+  st.ctx.graph = factory(rng);
+  return st.ctx.graph;
 }
 
 template <typename State>
 const graph::Graph& remake_graph(const ScratchGraphFactory& factory,
                                  rng::Rng& rng, State& st) {
-  factory(rng, st.gen_scratch, st.graph);
-  return st.graph;
+  factory(rng, st.ctx.gen_scratch, st.ctx.graph);
+  return st.ctx.graph;
 }
 
+using PolicySpecs = std::span<const search::PolicySpec* const>;
+
 template <typename Factory>
-PortfolioCost measure_weak_impl(const Factory& factory,
+PortfolioCost measure_weak_plan(PolicySpecs specs, const Factory& factory,
                                 const EndpointSelector& endpoints,
                                 std::size_t reps, std::uint64_t seed,
                                 const search::RunBudget& budget,
                                 std::size_t threads) {
-  return measure_portfolio(
+  return measure_portfolio_impl(
       [&](rng::Rng& rng, auto& st) -> const graph::Graph& {
         return remake_graph(factory, rng, st);
       },
-      endpoints, reps, seed, &search::weak_portfolio,
+      endpoints, reps, seed,
+      [specs] { return search::make_weak_searchers(specs); },
       [&](const graph::Graph& g, VertexId s, VertexId t,
           search::WeakSearcher& policy, rng::Rng& rng,
           search::SearchWorkspace& ws) {
@@ -163,16 +179,17 @@ PortfolioCost measure_weak_impl(const Factory& factory,
 }
 
 template <typename Factory>
-PortfolioCost measure_strong_impl(const Factory& factory,
+PortfolioCost measure_strong_plan(PolicySpecs specs, const Factory& factory,
                                   const EndpointSelector& endpoints,
                                   std::size_t reps, std::uint64_t seed,
                                   const search::RunBudget& budget,
                                   std::size_t threads) {
-  return measure_portfolio(
+  return measure_portfolio_impl(
       [&](rng::Rng& rng, auto& st) -> const graph::Graph& {
         return remake_graph(factory, rng, st);
       },
-      endpoints, reps, seed, &search::strong_portfolio,
+      endpoints, reps, seed,
+      [specs] { return search::make_strong_searchers(specs); },
       [&](const graph::Graph& g, VertexId s, VertexId t,
           search::StrongSearcher& policy, rng::Rng& rng,
           search::SearchWorkspace& ws) {
@@ -183,12 +200,65 @@ PortfolioCost measure_strong_impl(const Factory& factory,
 
 }  // namespace
 
+PortfolioCost measure_portfolio(const RunPlan& plan) {
+  SFS_REQUIRE(static_cast<bool>(plan.endpoints),
+              "RunPlan: an endpoint selector is required");
+  const bool plain = static_cast<bool>(plan.factory);
+  const bool scratch = static_cast<bool>(plan.scratch_factory);
+  SFS_REQUIRE(plain != scratch,
+              "RunPlan: set exactly one of factory / scratch_factory");
+  // Throws std::invalid_argument on unknown names, wrong-model policies,
+  // duplicates, or a selection that matches nothing — an empty portfolio
+  // is a checked error, never a silent empty result.
+  const auto specs = search::resolve_policies(plan.model, plan.policies);
+  if (plan.model == search::KnowledgeModel::kWeak) {
+    if (plain) {
+      return measure_weak_plan(specs, plan.factory, plan.endpoints, plan.reps,
+                               plan.seed, plan.budget, plan.threads);
+    }
+    return measure_weak_plan(specs, plan.scratch_factory, plan.endpoints,
+                             plan.reps, plan.seed, plan.budget, plan.threads);
+  }
+  if (plain) {
+    return measure_strong_plan(specs, plan.factory, plan.endpoints, plan.reps,
+                               plan.seed, plan.budget, plan.threads);
+  }
+  return measure_strong_plan(specs, plan.scratch_factory, plan.endpoints,
+                             plan.reps, plan.seed, plan.budget, plan.threads);
+}
+
+namespace {
+
+template <typename Factory>
+RunPlan compat_plan(search::KnowledgeModel model, const Factory& factory,
+                    const EndpointSelector& endpoints, std::size_t reps,
+                    std::uint64_t seed, const search::RunBudget& budget,
+                    std::size_t threads) {
+  RunPlan plan;
+  plan.model = model;
+  if constexpr (std::is_same_v<Factory, GraphFactory>) {
+    plan.factory = factory;
+  } else {
+    plan.scratch_factory = factory;
+  }
+  plan.endpoints = endpoints;
+  plan.reps = reps;
+  plan.seed = seed;
+  plan.budget = budget;
+  plan.threads = threads;
+  return plan;
+}
+
+}  // namespace
+
 PortfolioCost measure_weak_portfolio(const GraphFactory& factory,
                                      const EndpointSelector& endpoints,
                                      std::size_t reps, std::uint64_t seed,
                                      const search::RunBudget& budget,
                                      std::size_t threads) {
-  return measure_weak_impl(factory, endpoints, reps, seed, budget, threads);
+  return measure_portfolio(compat_plan(search::KnowledgeModel::kWeak, factory,
+                                       endpoints, reps, seed, budget,
+                                       threads));
 }
 
 PortfolioCost measure_weak_portfolio(const ScratchGraphFactory& factory,
@@ -196,7 +266,9 @@ PortfolioCost measure_weak_portfolio(const ScratchGraphFactory& factory,
                                      std::size_t reps, std::uint64_t seed,
                                      const search::RunBudget& budget,
                                      std::size_t threads) {
-  return measure_weak_impl(factory, endpoints, reps, seed, budget, threads);
+  return measure_portfolio(compat_plan(search::KnowledgeModel::kWeak, factory,
+                                       endpoints, reps, seed, budget,
+                                       threads));
 }
 
 PortfolioCost measure_strong_portfolio(const GraphFactory& factory,
@@ -204,7 +276,9 @@ PortfolioCost measure_strong_portfolio(const GraphFactory& factory,
                                        std::size_t reps, std::uint64_t seed,
                                        const search::RunBudget& budget,
                                        std::size_t threads) {
-  return measure_strong_impl(factory, endpoints, reps, seed, budget, threads);
+  return measure_portfolio(compat_plan(search::KnowledgeModel::kStrong,
+                                       factory, endpoints, reps, seed, budget,
+                                       threads));
 }
 
 PortfolioCost measure_strong_portfolio(const ScratchGraphFactory& factory,
@@ -212,7 +286,9 @@ PortfolioCost measure_strong_portfolio(const ScratchGraphFactory& factory,
                                        std::size_t reps, std::uint64_t seed,
                                        const search::RunBudget& budget,
                                        std::size_t threads) {
-  return measure_strong_impl(factory, endpoints, reps, seed, budget, threads);
+  return measure_portfolio(compat_plan(search::KnowledgeModel::kStrong,
+                                       factory, endpoints, reps, seed, budget,
+                                       threads));
 }
 
 EndpointSelector oldest_to_newest() {

@@ -1,7 +1,17 @@
-// Portfolio search-cost measurement: run every weak (or strong) policy on
-// freshly generated graphs and summarize the charged-request cost per
-// policy. The minimum over the portfolio is the empirical stand-in for
-// "any algorithm" in the lower-bound experiments.
+// Portfolio search-cost measurement: run a selected set of registered
+// search policies on freshly generated graphs and summarize the
+// charged-request cost per policy. The minimum over the portfolio is the
+// empirical stand-in for "any algorithm" in the lower-bound experiments.
+//
+// V2 API: one RunPlan describes the whole measurement — knowledge model,
+// policy filter (names resolved against the policy registry,
+// search/policy.hpp), graph factory variant, endpoint selector,
+// replications, seed, budget and thread fan-out — and one
+// measure_portfolio(plan) runs it. The four v1 entry points
+// (measure_weak_portfolio / measure_strong_portfolio × plain/scratch
+// factory) survive as thin compat wrappers that build a plan; they are
+// bit-identical to the pre-redesign implementation (same seed derivation,
+// same fold order — pinned-seed golden test in tests/test_sweep_compat).
 //
 // Replications can be fanned out over the deterministic parallel executor
 // (sim/parallel.hpp). Because every replication derives its own seeds from
@@ -19,8 +29,6 @@
 #include "gen/scratch.hpp"
 #include "graph/graph.hpp"
 #include "search/runner.hpp"
-#include "search/strong_algorithms.hpp"
-#include "search/weak_algorithms.hpp"
 #include "stats/summary.hpp"
 
 namespace sfs::sim {
@@ -31,8 +39,8 @@ using GraphFactory = std::function<graph::Graph(rng::Rng& rng)>;
 /// Scratch-aware factory: regenerates `out` in place from the replication
 /// RNG, recycling the worker's generator scratch and the Graph's own CSR
 /// buffers (use the scratch-taking generator overloads in gen/). The
-/// harness owns one GenScratch + Graph per worker, so a portfolio sweep
-/// allocates nothing per replication in steady state.
+/// harness owns one WorkerContext (sim/worker_context.hpp) per worker, so
+/// a portfolio sweep allocates nothing per replication in steady state.
 using ScratchGraphFactory = std::function<void(
     rng::Rng& rng, gen::GenScratch& scratch, graph::Graph& out)>;
 
@@ -54,28 +62,77 @@ struct PolicyCost {
 
 struct PortfolioCost {
   std::vector<PolicyCost> policies;
-  /// Index into policies of the best (lowest mean charged requests among
-  /// policies that always found the target; falls back to lowest mean).
+  /// Index into policies of the best policy. Selection rule: policies
+  /// that found the target in every replication beat policies that
+  /// missed it at least once; within the same success class, the lowest
+  /// mean charged requests wins. Tie-break: on an exactly equal mean
+  /// (and equal success class), the policy earliest in portfolio order —
+  /// i.e. the lowest index, which for a full portfolio is registration
+  /// order — is kept.
   std::size_t best = 0;
 
-  [[nodiscard]] const PolicyCost& best_policy() const {
-    return policies.at(best);
-  }
+  /// The entry at `best`. Throws std::invalid_argument on an empty
+  /// portfolio (a default-constructed PortfolioCost) instead of the v1
+  /// behavior of surfacing a bare std::out_of_range from vector::at.
+  [[nodiscard]] const PolicyCost& best_policy() const;
 };
 
-/// Measures the full weak portfolio (weak_portfolio()) on `reps` fresh
-/// graphs. Every policy sees the same sequence of graphs (same graph seeds)
-/// so the comparison is paired. `threads` selects the replication fan-out:
-/// 1 (the default) = sequential, 0 = the shared pool (default worker
-/// count), n = a pool of n workers; the result is bit-identical in all
-/// cases. Any value other than 1 requires the factory and endpoint
-/// selector to be safe to call concurrently.
+/// The v2 portfolio measurement: everything one measurement needs, in one
+/// value. Defaults reproduce the v1 entry points (full portfolio of the
+/// model, sequential, default budget).
+struct RunPlan {
+  /// Knowledge model to run; every selected policy must be of this model.
+  search::KnowledgeModel model = search::KnowledgeModel::kWeak;
+
+  /// Policy filter, resolved against the policy registry
+  /// (search/resolve_policies): empty = the model's full portfolio in
+  /// registration order; otherwise the named policies in the given order.
+  /// Unknown names, wrong-model policies and duplicates are checked
+  /// errors. NOTE: each policy's RNG stream is tagged by its index in
+  /// this selected portfolio, so a filtered run is paired (same graphs,
+  /// same endpoints) with the full-portfolio run, and a policy keeps its
+  /// exact v1 stream only while its index matches the full-portfolio
+  /// position (prefix selections do; reorderings do not).
+  std::vector<std::string> policies;
+
+  /// Exactly one of `factory` / `scratch_factory` must be set.
+  GraphFactory factory;
+  ScratchGraphFactory scratch_factory;
+
+  EndpointSelector endpoints;
+
+  std::size_t reps = 1;
+  std::uint64_t seed = 0;
+  search::RunBudget budget;
+
+  /// Replication fan-out: 1 (default) = sequential, 0 = the shared pool,
+  /// n = a pool of n workers; the result is bit-identical in all cases.
+  /// Any value other than 1 requires the factory and endpoint selector to
+  /// be safe to call concurrently.
+  std::size_t threads = 1;
+};
+
+/// Runs `plan`: every selected policy on `plan.reps` fresh graphs. Every
+/// policy sees the same sequence of graphs (same graph seeds) and the same
+/// endpoints, so the comparison is paired. Preconditions (checked):
+/// endpoints set, exactly one factory variant set, reps >= 1, and a
+/// non-empty resolved portfolio.
+[[nodiscard]] PortfolioCost measure_portfolio(const RunPlan& plan);
+
+// ---------------------------------------------------------------------
+// V1 compat wrappers. Each builds the equivalent RunPlan; outputs are
+// bit-identical to the pre-redesign four-overload implementation. New
+// code should build a RunPlan directly (see docs/SEARCH.md for the
+// migration table).
+// ---------------------------------------------------------------------
+
+/// Full weak portfolio on `reps` fresh graphs (plain factory).
 [[nodiscard]] PortfolioCost measure_weak_portfolio(
     const GraphFactory& factory, const EndpointSelector& endpoints,
     std::size_t reps, std::uint64_t seed,
     const search::RunBudget& budget = {}, std::size_t threads = 1);
 
-/// Same for the strong portfolio (strong_portfolio()).
+/// Same for the strong portfolio.
 [[nodiscard]] PortfolioCost measure_strong_portfolio(
     const GraphFactory& factory, const EndpointSelector& endpoints,
     std::size_t reps, std::uint64_t seed,

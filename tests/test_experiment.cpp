@@ -278,6 +278,57 @@ TEST(ExperimentValidation, CapabilityGating) {
   EXPECT_FALSE(validate_experiment_options(spec, ckpt, error));
 }
 
+TEST(ExperimentCli, PoliciesFlag) {
+  CliRequest req;
+  std::string error;
+  ASSERT_TRUE(parse_experiment_cli(
+      {"--run", "a1", "--policies", "bfs,random-walk"}, req, error))
+      << error;
+  EXPECT_EQ(req.options.policies,
+            (std::vector<std::string>{"bfs", "random-walk"}));
+  // Malformed lists: empty value, empty token, trailing comma.
+  EXPECT_FALSE(parse_experiment_cli({"--run", "a1", "--policies", ""}, req,
+                                    error));
+  EXPECT_FALSE(parse_experiment_cli({"--run", "a1", "--policies", "a,,b"},
+                                    req, error));
+  EXPECT_FALSE(parse_experiment_cli({"--run", "a1", "--policies", "a,"},
+                                    req, error));
+  // Missing value and duplicate flag.
+  EXPECT_FALSE(parse_experiment_cli({"--run", "a1", "--policies"}, req,
+                                    error));
+  EXPECT_FALSE(parse_experiment_cli(
+      {"--run", "a1", "--policies", "a", "--policies", "b"}, req, error));
+  EXPECT_NE(error.find("more than once"), std::string::npos);
+}
+
+TEST(ParseNameList, TokenRules) {
+  std::vector<std::string> out;
+  EXPECT_TRUE(sfs::sim::parse_name_list("one", out));
+  EXPECT_EQ(out, (std::vector<std::string>{"one"}));
+  EXPECT_TRUE(sfs::sim::parse_name_list("a,b,c", out));
+  EXPECT_EQ(out, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_FALSE(sfs::sim::parse_name_list("", out));
+  EXPECT_FALSE(sfs::sim::parse_name_list(",", out));
+  EXPECT_FALSE(sfs::sim::parse_name_list("a,,b", out));
+  EXPECT_FALSE(sfs::sim::parse_name_list(",a", out));
+  EXPECT_FALSE(sfs::sim::parse_name_list("a,", out));
+}
+
+TEST(ExperimentValidation, PoliciesGatedByCapability) {
+  std::string error;
+  ExperimentSpec plain = make_spec("x1");
+  plain.caps = sfs::sim::kCapQuick;
+  ExperimentOptions options;
+  options.policies = {"bfs"};
+  EXPECT_FALSE(validate_experiment_options(plain, options, error));
+  EXPECT_NE(error.find("--policies"), std::string::npos);
+
+  ExperimentSpec with_cap = make_spec("x2");
+  with_cap.caps = sfs::sim::kCapQuick | sfs::sim::kCapPolicies;
+  EXPECT_TRUE(validate_experiment_options(with_cap, options, error))
+      << error;
+}
+
 TEST(ExperimentValidation, SingleSizeExperimentsRejectSizeLists) {
   ExperimentSpec spec = make_spec("x1");
   spec.caps = sfs::sim::kCapQuick | sfs::sim::kCapSingleSize;

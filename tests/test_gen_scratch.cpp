@@ -279,14 +279,20 @@ TEST(SweepScratchFactory, WeakPortfolioMatchesPlainFactory) {
         sfs::gen::merged_mori_graph(80, 2, sfs::gen::MoriParams{0.5}, rng,
                                     scratch, out);
       };
-  const auto a = sfs::sim::measure_weak_portfolio(
-      plain, sfs::sim::oldest_to_newest(), 8, 21, budget, /*threads=*/1);
-  const auto b = sfs::sim::measure_weak_portfolio(
-      reusing, sfs::sim::oldest_to_newest(), 8, 21, budget, /*threads=*/1);
+  sfs::sim::RunPlan plan;
+  plan.factory = plain;
+  plan.endpoints = sfs::sim::oldest_to_newest();
+  plan.reps = 8;
+  plan.seed = 21;
+  plan.budget = budget;
+  const auto a = sfs::sim::measure_portfolio(plan);
+  plan.factory = nullptr;
+  plan.scratch_factory = reusing;
+  const auto b = sfs::sim::measure_portfolio(plan);
   expect_identical_cost(a, b);
   // And the scratch path stays bit-identical under parallel fan-out.
-  const auto c = sfs::sim::measure_weak_portfolio(
-      reusing, sfs::sim::oldest_to_newest(), 8, 21, budget, /*threads=*/4);
+  plan.threads = 4;
+  const auto c = sfs::sim::measure_portfolio(plan);
   expect_identical_cost(a, c);
 }
 
@@ -298,10 +304,17 @@ TEST(SweepScratchFactory, StrongPortfolioMatchesPlainFactory) {
       [](Rng& rng, GenScratch& scratch, Graph& out) {
         sfs::gen::mori_tree(120, sfs::gen::MoriParams{0.4}, rng, scratch, out);
       };
-  const auto a = sfs::sim::measure_strong_portfolio(
-      plain, sfs::sim::oldest_to_newest(), 6, 9, {}, /*threads=*/1);
-  const auto b = sfs::sim::measure_strong_portfolio(
-      reusing, sfs::sim::oldest_to_newest(), 6, 9, {}, /*threads=*/3);
+  sfs::sim::RunPlan plan;
+  plan.model = sfs::search::KnowledgeModel::kStrong;
+  plan.factory = plain;
+  plan.endpoints = sfs::sim::oldest_to_newest();
+  plan.reps = 6;
+  plan.seed = 9;
+  const auto a = sfs::sim::measure_portfolio(plan);
+  plan.factory = nullptr;
+  plan.scratch_factory = reusing;
+  plan.threads = 3;
+  const auto b = sfs::sim::measure_portfolio(plan);
   expect_identical_cost(a, b);
 }
 

@@ -12,6 +12,7 @@
 #include "graph/algorithms.hpp"
 #include "graph/degree.hpp"
 #include "graph/io.hpp"
+#include "search/weak_algorithms.hpp"
 #include "sim/scaling.hpp"
 #include "sim/sweep.hpp"
 #include "stats/powerlaw.hpp"
@@ -22,18 +23,31 @@ using sfs::graph::Graph;
 using sfs::graph::VertexId;
 using sfs::rng::Rng;
 
+// V2 plan API: the whole measurement in one value (docs/SEARCH.md).
+sfs::sim::RunPlan weak_plan(sfs::sim::GraphFactory factory,
+                            sfs::sim::EndpointSelector endpoints,
+                            std::size_t reps, std::uint64_t seed,
+                            std::size_t max_raw) {
+  sfs::sim::RunPlan plan;
+  plan.factory = std::move(factory);
+  plan.endpoints = std::move(endpoints);
+  plan.reps = reps;
+  plan.seed = seed;
+  plan.budget.max_raw_requests = max_raw;
+  return plan;
+}
+
 // E1 in miniature: weak-model cost of finding the newest Móri vertex grows
 // polynomially (log-log slope clearly positive, consistent with 1/2).
 TEST(Integration, WeakSearchCostGrowsPolynomially) {
   const auto series = sfs::sim::measure_scaling(
       {256, 512, 1024, 2048}, 6, 101,
       [](std::size_t n, std::uint64_t seed) {
-        const auto cost = sfs::sim::measure_weak_portfolio(
+        const auto cost = sfs::sim::measure_portfolio(weak_plan(
             [n](Rng& rng) {
               return sfs::gen::mori_tree(n, sfs::gen::MoriParams{0.5}, rng);
             },
-            sfs::sim::oldest_to_newest(), 1, seed,
-            sfs::search::RunBudget{.max_raw_requests = 5000000});
+            sfs::sim::oldest_to_newest(), 1, seed, 5000000));
         return cost.best_policy().requests.mean;
       });
   EXPECT_GT(series.fit.slope, 0.25);
@@ -97,12 +111,11 @@ TEST(Integration, MoriMaxDegreeExponent) {
 TEST(Integration, MeasuredCostRespectsLowerBound) {
   const std::size_t n = 1024;
   const auto bound = sfs::core::mori_lower_bound(0.5, n, 2000, 13);
-  const auto cost = sfs::sim::measure_weak_portfolio(
+  const auto cost = sfs::sim::measure_portfolio(weak_plan(
       [n](Rng& rng) {
         return sfs::gen::mori_tree(n, sfs::gen::MoriParams{0.5}, rng);
       },
-      sfs::sim::oldest_to_newest(), 10, 17,
-      sfs::search::RunBudget{.max_raw_requests = 5000000});
+      sfs::sim::oldest_to_newest(), 10, 17, 5000000));
   // The bound is for expected cost; compare against the portfolio best with
   // slack for replication noise.
   EXPECT_GT(cost.best_policy().requests.mean, 0.5 * bound.bound);
@@ -132,12 +145,10 @@ TEST(Integration, CooperFriezeNewestHarderThanOldest) {
   auto factory = [&params](Rng& rng) {
     return sfs::gen::cooper_frieze(500, params, rng).graph;
   };
-  const auto to_newest = sfs::sim::measure_weak_portfolio(
-      factory, sfs::sim::oldest_to_newest(), 6, 29,
-      sfs::search::RunBudget{.max_raw_requests = 5000000});
-  const auto to_oldest = sfs::sim::measure_weak_portfolio(
-      factory, sfs::sim::newest_to_paper_id(1), 6, 29,
-      sfs::search::RunBudget{.max_raw_requests = 5000000});
+  const auto to_newest = sfs::sim::measure_portfolio(
+      weak_plan(factory, sfs::sim::oldest_to_newest(), 6, 29, 5000000));
+  const auto to_oldest = sfs::sim::measure_portfolio(
+      weak_plan(factory, sfs::sim::newest_to_paper_id(1), 6, 29, 5000000));
   EXPECT_LT(to_oldest.best_policy().requests.mean,
             to_newest.best_policy().requests.mean);
 }

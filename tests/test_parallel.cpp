@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -29,14 +30,30 @@ using sfs::search::KnowledgeModel;
 using sfs::search::LocalView;
 using sfs::search::SearchResult;
 using sfs::search::SearchWorkspace;
-using sfs::sim::measure_weak_portfolio;
+using sfs::sim::measure_portfolio;
 using sfs::sim::oldest_to_newest;
 using sfs::sim::PortfolioCost;
+using sfs::sim::RunPlan;
 
 sfs::sim::GraphFactory mori_factory(std::size_t n, double p) {
   return [n, p](sfs::rng::Rng& rng) {
     return sfs::gen::mori_tree(n, sfs::gen::MoriParams{p}, rng);
   };
+}
+
+// V2 plan API (docs/SEARCH.md): one value per measurement.
+RunPlan mori_plan(KnowledgeModel model, std::size_t n, double p,
+                  std::size_t reps, std::uint64_t seed,
+                  std::size_t max_raw, std::size_t threads) {
+  RunPlan plan;
+  plan.model = model;
+  plan.factory = mori_factory(n, p);
+  plan.endpoints = oldest_to_newest();
+  plan.reps = reps;
+  plan.seed = seed;
+  plan.budget.max_raw_requests = max_raw;
+  plan.threads = threads;
+  return plan;
 }
 
 // ------------------------------------------------------------ thread pool
@@ -125,28 +142,25 @@ void expect_identical(const PortfolioCost& a, const PortfolioCost& b) {
 }
 
 TEST(ParallelPortfolio, WeakBitIdenticalToSequential) {
-  const auto budget = sfs::search::RunBudget{.max_raw_requests = 500000};
-  const auto seq = measure_weak_portfolio(mori_factory(150, 0.5),
-                                          oldest_to_newest(), 6, 42, budget,
-                                          /*threads=*/1);
-  const auto par = measure_weak_portfolio(mori_factory(150, 0.5),
-                                          oldest_to_newest(), 6, 42, budget,
-                                          /*threads=*/4);
+  const auto seq = measure_portfolio(
+      mori_plan(KnowledgeModel::kWeak, 150, 0.5, 6, 42, 500000, 1));
+  const auto par = measure_portfolio(
+      mori_plan(KnowledgeModel::kWeak, 150, 0.5, 6, 42, 500000, 4));
   expect_identical(seq, par);
 }
 
 TEST(ParallelPortfolio, StrongBitIdenticalToSequential) {
-  const auto seq = sfs::sim::measure_strong_portfolio(
-      mori_factory(150, 0.4), oldest_to_newest(), 6, 7, {}, /*threads=*/1);
-  const auto par = sfs::sim::measure_strong_portfolio(
-      mori_factory(150, 0.4), oldest_to_newest(), 6, 7, {}, /*threads=*/3);
+  auto plan = mori_plan(KnowledgeModel::kStrong, 150, 0.4, 6, 7,
+                        std::numeric_limits<std::size_t>::max(), 1);
+  const auto seq = measure_portfolio(plan);
+  plan.threads = 3;
+  const auto par = measure_portfolio(plan);
   expect_identical(seq, par);
 }
 
 TEST(ParallelPortfolio, MedianAndP90AreOrdered) {
-  const auto cost = measure_weak_portfolio(
-      mori_factory(120, 0.5), oldest_to_newest(), 9, 5,
-      sfs::search::RunBudget{.max_raw_requests = 500000});
+  const auto cost = measure_portfolio(
+      mori_plan(KnowledgeModel::kWeak, 120, 0.5, 9, 5, 500000, 1));
   for (const auto& p : cost.policies) {
     EXPECT_LE(p.requests.min, p.median_requests) << p.name;
     EXPECT_LE(p.median_requests, p.p90_requests) << p.name;
@@ -264,16 +278,12 @@ TEST(SearchWorkspace, EpochResetClearsKnowledge) {
 
 TEST(SearchWorkspace, PortfolioMeasurementMatchesAcrossThreadCounts) {
   // End-to-end: 1, 2 and 5 threads over a non-trivial replication count.
-  const auto budget = sfs::search::RunBudget{.max_raw_requests = 200000};
-  const auto t1 = measure_weak_portfolio(mori_factory(100, 0.6),
-                                         oldest_to_newest(), 10, 11, budget,
-                                         /*threads=*/1);
-  const auto t2 = measure_weak_portfolio(mori_factory(100, 0.6),
-                                         oldest_to_newest(), 10, 11, budget,
-                                         /*threads=*/2);
-  const auto t5 = measure_weak_portfolio(mori_factory(100, 0.6),
-                                         oldest_to_newest(), 10, 11, budget,
-                                         /*threads=*/5);
+  const auto t1 = measure_portfolio(
+      mori_plan(KnowledgeModel::kWeak, 100, 0.6, 10, 11, 200000, 1));
+  const auto t2 = measure_portfolio(
+      mori_plan(KnowledgeModel::kWeak, 100, 0.6, 10, 11, 200000, 2));
+  const auto t5 = measure_portfolio(
+      mori_plan(KnowledgeModel::kWeak, 100, 0.6, 10, 11, 200000, 5));
   expect_identical(t1, t2);
   expect_identical(t1, t5);
 }

@@ -94,12 +94,16 @@ TEST_F(StreamAuditTest, PortfolioSweepAuditsCleanly) {
   using sfs::graph::Graph;
   using sfs::rng::Rng;
   const std::size_t reps = 3;
-  const auto cost = sfs::sim::measure_weak_portfolio(
-      [](Rng& rng) {
-        return sfs::gen::merged_mori_graph(64, 1, sfs::gen::MoriParams{0.5},
-                                           rng);
-      },
-      sfs::sim::oldest_to_newest(), reps, 0x577E, {});
+  const auto cost = sfs::sim::measure_portfolio({
+      .factory =
+          [](Rng& rng) {
+            return sfs::gen::merged_mori_graph(64, 1,
+                                               sfs::gen::MoriParams{0.5}, rng);
+          },
+      .endpoints = sfs::sim::oldest_to_newest(),
+      .reps = reps,
+      .seed = 0x577E,
+  });
   ASSERT_FALSE(cost.policies.empty());
   // Streams per replication: graph + endpoints + one per policy.
   EXPECT_EQ(StreamAudit::instance().recorded_count(),
@@ -113,13 +117,15 @@ TEST_F(StreamAuditTest, NestedHarnessesShareOneCleanAuditTable) {
   const auto series = sfs::sim::measure_scaling(
       {32, 64}, 2, 0xE1,
       [](std::size_t n, std::uint64_t seed) {
-        const auto cost = sfs::sim::measure_weak_portfolio(
-            [n](Rng& rng) {
-              return sfs::gen::merged_mori_graph(n, 1,
-                                                 sfs::gen::MoriParams{0.5},
-                                                 rng);
-            },
-            sfs::sim::oldest_to_newest(), 1, seed, {});
+        const auto cost = sfs::sim::measure_portfolio({
+            .factory =
+                [n](Rng& rng) {
+                  return sfs::gen::merged_mori_graph(
+                      n, 1, sfs::gen::MoriParams{0.5}, rng);
+                },
+            .endpoints = sfs::sim::oldest_to_newest(),
+            .seed = seed,
+        });
         return cost.best_policy().requests.mean;
       });
   ASSERT_TRUE(series.has_fit());

@@ -1,7 +1,10 @@
-// Tests for portfolio search-cost measurement.
+// Tests for portfolio search-cost measurement (the v2 RunPlan API; the v1
+// compat wrappers are covered by test_sweep_compat.cpp).
 #include "sim/sweep.hpp"
 
 #include <gtest/gtest.h>
+
+#include <stdexcept>
 
 #include "gen/mori.hpp"
 
@@ -9,11 +12,12 @@ namespace {
 
 using sfs::graph::Graph;
 using sfs::graph::VertexId;
-using sfs::sim::measure_strong_portfolio;
-using sfs::sim::measure_weak_portfolio;
+using sfs::search::KnowledgeModel;
+using sfs::sim::measure_portfolio;
 using sfs::sim::newest_to_paper_id;
 using sfs::sim::oldest_to_newest;
 using sfs::sim::random_to_newest;
+using sfs::sim::RunPlan;
 
 sfs::sim::GraphFactory mori_factory(std::size_t n, double p) {
   return [n, p](sfs::rng::Rng& rng) {
@@ -21,10 +25,19 @@ sfs::sim::GraphFactory mori_factory(std::size_t n, double p) {
   };
 }
 
-TEST(MeasureWeakPortfolio, AllPoliciesSucceedOnTrees) {
-  const auto cost = measure_weak_portfolio(
-      mori_factory(200, 0.5), oldest_to_newest(), 8, 1,
-      sfs::search::RunBudget{.max_raw_requests = 500000});
+RunPlan weak_plan(std::size_t n, double p, std::size_t reps,
+                  std::uint64_t seed) {
+  RunPlan plan;
+  plan.factory = mori_factory(n, p);
+  plan.endpoints = oldest_to_newest();
+  plan.reps = reps;
+  plan.seed = seed;
+  plan.budget.max_raw_requests = 500000;
+  return plan;
+}
+
+TEST(MeasurePortfolio, AllWeakPoliciesSucceedOnTrees) {
+  const auto cost = measure_portfolio(weak_plan(200, 0.5, 8, 1));
   ASSERT_EQ(cost.policies.size(), 10u);
   for (const auto& p : cost.policies) {
     EXPECT_DOUBLE_EQ(p.found_fraction, 1.0) << p.name;
@@ -34,10 +47,8 @@ TEST(MeasureWeakPortfolio, AllPoliciesSucceedOnTrees) {
   }
 }
 
-TEST(MeasureWeakPortfolio, BestIsLowestMeanAmongComplete) {
-  const auto cost = measure_weak_portfolio(
-      mori_factory(150, 0.5), oldest_to_newest(), 6, 2,
-      sfs::search::RunBudget{.max_raw_requests = 500000});
+TEST(MeasurePortfolio, BestIsLowestMeanAmongComplete) {
+  const auto cost = measure_portfolio(weak_plan(150, 0.5, 6, 2));
   const auto& best = cost.best_policy();
   for (const auto& p : cost.policies) {
     if (p.found_fraction >= 1.0) {
@@ -46,22 +57,23 @@ TEST(MeasureWeakPortfolio, BestIsLowestMeanAmongComplete) {
   }
 }
 
-TEST(MeasureWeakPortfolio, DeterministicForSeed) {
-  const auto a = measure_weak_portfolio(
-      mori_factory(100, 0.5), oldest_to_newest(), 4, 3,
-      sfs::search::RunBudget{.max_raw_requests = 500000});
-  const auto b = measure_weak_portfolio(
-      mori_factory(100, 0.5), oldest_to_newest(), 4, 3,
-      sfs::search::RunBudget{.max_raw_requests = 500000});
+TEST(MeasurePortfolio, DeterministicForSeed) {
+  const auto a = measure_portfolio(weak_plan(100, 0.5, 4, 3));
+  const auto b = measure_portfolio(weak_plan(100, 0.5, 4, 3));
   for (std::size_t i = 0; i < a.policies.size(); ++i) {
     EXPECT_DOUBLE_EQ(a.policies[i].requests.mean,
                      b.policies[i].requests.mean);
   }
 }
 
-TEST(MeasureStrongPortfolio, AllPoliciesSucceed) {
-  const auto cost = measure_strong_portfolio(
-      mori_factory(200, 0.3), oldest_to_newest(), 6, 4);
+TEST(MeasurePortfolio, AllStrongPoliciesSucceed) {
+  RunPlan plan;
+  plan.model = KnowledgeModel::kStrong;
+  plan.factory = mori_factory(200, 0.3);
+  plan.endpoints = oldest_to_newest();
+  plan.reps = 6;
+  plan.seed = 4;
+  const auto cost = measure_portfolio(plan);
   ASSERT_EQ(cost.policies.size(), 5u);
   for (const auto& p : cost.policies) {
     EXPECT_DOUBLE_EQ(p.found_fraction, 1.0) << p.name;
@@ -69,6 +81,69 @@ TEST(MeasureStrongPortfolio, AllPoliciesSucceed) {
     EXPECT_LE(p.requests.max, 200.0);
   }
 }
+
+// ------------------------------------------------- plan validation
+
+TEST(MeasurePortfolio, PolicyFilterSelectsNamedPolicies) {
+  auto plan = weak_plan(100, 0.5, 3, 5);
+  plan.policies = {"bfs", "random-walk"};
+  const auto cost = measure_portfolio(plan);
+  ASSERT_EQ(cost.policies.size(), 2u);
+  EXPECT_EQ(cost.policies[0].name, "bfs");
+  EXPECT_EQ(cost.policies[1].name, "random-walk");
+}
+
+TEST(MeasurePortfolio, UnknownPolicyIsCheckedError) {
+  auto plan = weak_plan(100, 0.5, 3, 5);
+  plan.policies = {"bfs", "no-such-policy"};
+  EXPECT_THROW((void)measure_portfolio(plan), std::invalid_argument);
+}
+
+TEST(MeasurePortfolio, WrongModelPolicyIsCheckedError) {
+  auto plan = weak_plan(100, 0.5, 3, 5);
+  plan.policies = {"bfs-strong"};  // strong policy on a weak plan
+  EXPECT_THROW((void)measure_portfolio(plan), std::invalid_argument);
+}
+
+TEST(MeasurePortfolio, DuplicatePolicyIsCheckedError) {
+  auto plan = weak_plan(100, 0.5, 3, 5);
+  plan.policies = {"bfs", "bfs"};
+  EXPECT_THROW((void)measure_portfolio(plan), std::invalid_argument);
+}
+
+TEST(MeasurePortfolio, MissingEndpointsIsCheckedError) {
+  auto plan = weak_plan(100, 0.5, 3, 5);
+  plan.endpoints = nullptr;
+  EXPECT_THROW((void)measure_portfolio(plan), std::invalid_argument);
+}
+
+TEST(MeasurePortfolio, BothOrNeitherFactoryIsCheckedError) {
+  auto plan = weak_plan(100, 0.5, 3, 5);
+  plan.scratch_factory = [](sfs::rng::Rng& rng, sfs::gen::GenScratch&,
+                            Graph& out) {
+    out = sfs::gen::mori_tree(50, sfs::gen::MoriParams{0.5}, rng);
+  };
+  EXPECT_THROW((void)measure_portfolio(plan), std::invalid_argument);
+  plan.factory = nullptr;
+  plan.scratch_factory = nullptr;
+  EXPECT_THROW((void)measure_portfolio(plan), std::invalid_argument);
+}
+
+TEST(PortfolioCost, BestPolicyOnEmptyPortfolioIsCheckedError) {
+  // A default-constructed result has no policies; v1 threw a bare
+  // std::out_of_range from vector::at(0).
+  const sfs::sim::PortfolioCost empty;
+  try {
+    (void)empty.best_policy();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("empty portfolio"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// ---------------------------------------------------------- selectors
 
 TEST(Selectors, OldestToNewest) {
   sfs::rng::Rng rng(5);
@@ -102,15 +177,13 @@ TEST(Selectors, NewestToPaperId) {
                std::invalid_argument);
 }
 
-TEST(MeasureWeakPortfolio, SearchingRootIsCheaperThanNewest) {
+TEST(MeasurePortfolio, SearchingRootIsCheaperThanNewest) {
   // The asymmetry at the heart of the paper: old vertices are easy to find
   // (high degree, age gradient), the newest is hard.
-  const auto to_root = measure_weak_portfolio(
-      mori_factory(400, 0.5), newest_to_paper_id(1), 6, 10,
-      sfs::search::RunBudget{.max_raw_requests = 500000});
-  const auto to_newest = measure_weak_portfolio(
-      mori_factory(400, 0.5), oldest_to_newest(), 6, 10,
-      sfs::search::RunBudget{.max_raw_requests = 500000});
+  auto to_root_plan = weak_plan(400, 0.5, 6, 10);
+  to_root_plan.endpoints = newest_to_paper_id(1);
+  const auto to_root = measure_portfolio(to_root_plan);
+  const auto to_newest = measure_portfolio(weak_plan(400, 0.5, 6, 10));
   EXPECT_LT(to_root.best_policy().requests.mean,
             to_newest.best_policy().requests.mean);
 }
