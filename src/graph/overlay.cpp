@@ -1,0 +1,161 @@
+#include "graph/overlay.hpp"
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+
+namespace sfs::graph {
+
+Overlay::Overlay(Graph base) : graph_(std::move(base)) {
+  alive_.assign(graph_.num_vertices(), 1u);
+  edge_alive_.assign(graph_.num_edges(), 1u);
+  num_alive_ = graph_.num_vertices();
+}
+
+std::size_t Overlay::live_degree(VertexId v) const {
+  SFS_REQUIRE(v < alive_.size(),
+              "Overlay::live_degree: vertex id out of range");
+  if (alive_[v] == 0) return 0;
+  std::size_t deg = 0;
+  if (v < graph_.num_vertices()) {
+    const auto inc = graph_.incident(v);
+    const auto adj = graph_.adjacent(v);
+    for (std::size_t i = 0; i < inc.size(); ++i) {
+      if (edge_alive_[inc[i]] != 0 && alive_[adj[i]] != 0) ++deg;
+    }
+  }
+  for (const Edge& e : staged_edges_) {
+    if (e.tail == v && alive_[e.head] != 0) ++deg;
+    if (e.head == v && alive_[e.tail] != 0) ++deg;
+  }
+  return deg;
+}
+
+void Overlay::rebuild_bag() {
+  // Weight live_degree(v) + 1 per live vertex, laid out in id order (and
+  // slot order within a vertex) so the bag — hence every join draw — is a
+  // pure function of the overlay state.
+  auto& bag = scratch_.pref_bag;
+  bag.clear();
+  for (std::size_t vi = 0; vi < alive_.size(); ++vi) {
+    const auto v = static_cast<VertexId>(vi);
+    if (alive_[v] == 0) continue;
+    bag.push_back(v);  // the +1 baseline: keeps isolated survivors joinable
+    if (v < graph_.num_vertices()) {
+      const auto inc = graph_.incident(v);
+      const auto adj = graph_.adjacent(v);
+      for (std::size_t i = 0; i < inc.size(); ++i) {
+        if (edge_alive_[inc[i]] != 0 && alive_[adj[i]] != 0) bag.push_back(v);
+      }
+    }
+  }
+  for (const Edge& e : staged_edges_) {
+    if (alive_[e.tail] != 0 && alive_[e.head] != 0) {
+      bag.push_back(e.tail);
+      bag.push_back(e.head);
+    }
+  }
+  bag_dirty_ = false;
+}
+
+VertexId Overlay::join(std::size_t attach, rng::Rng& rng) {
+  SFS_REQUIRE(attach >= 1, "Overlay::join: need at least one attachment");
+  SFS_REQUIRE(num_alive_ >= 1,
+              "Overlay::join: cannot join an overlay with no live peers");
+  SFS_REQUIRE(alive_.size() < static_cast<std::size_t>(kNoVertex),
+              "Overlay::join: vertex id space exhausted");
+  if (bag_dirty_) rebuild_bag();
+
+  const auto v = static_cast<VertexId>(alive_.size());
+  auto& bag = scratch_.pref_bag;
+  SFS_CHECK(!bag.empty(), "live bag empty despite live peers");
+  // Draw the targets first, then append the new vertex's own mass: a peer
+  // cannot attach to itself on arrival.
+  scratch_.targets.clear();
+  for (std::size_t i = 0; i < attach; ++i) {
+    scratch_.targets.push_back(
+        bag[static_cast<std::size_t>(rng.uniform_index(bag.size()))]);
+  }
+  alive_.push_back(1u);
+  ++num_alive_;
+  ++staged_vertices_;
+  bag.push_back(v);  // baseline entry of the newcomer
+  for (const VertexId t : scratch_.targets) {
+    staged_edges_.push_back(Edge{v, t});
+    bag.push_back(v);
+    bag.push_back(t);
+  }
+  ++epoch_;
+  return v;
+}
+
+void Overlay::depart(VertexId v) {
+  SFS_REQUIRE(v < alive_.size(), "Overlay::depart: vertex id out of range");
+  SFS_REQUIRE(alive_[v] != 0, "Overlay::depart: vertex already departed");
+  // Its live snapshot incidence becomes dead weight the next compaction
+  // reclaims (count before flipping the bit — live_degree of a dead vertex
+  // is 0 by definition).
+  std::size_t snapshot_live = 0;
+  if (v < graph_.num_vertices()) {
+    const auto inc = graph_.incident(v);
+    const auto adj = graph_.adjacent(v);
+    for (std::size_t i = 0; i < inc.size(); ++i) {
+      if (edge_alive_[inc[i]] != 0 && alive_[adj[i]] != 0) ++snapshot_live;
+    }
+  }
+  alive_[v] = 0;
+  --num_alive_;
+  compaction_debt_ += snapshot_live;
+  bag_dirty_ = true;
+  ++epoch_;
+}
+
+void Overlay::fail_edge(EdgeId e) {
+  SFS_REQUIRE(e < edge_alive_.size(),
+              "Overlay::fail_edge: edge id out of range");
+  SFS_REQUIRE(edge_alive_[e] != 0, "Overlay::fail_edge: edge already failed");
+  edge_alive_[e] = 0;
+  ++compaction_debt_;
+  bag_dirty_ = true;
+  ++epoch_;
+}
+
+void Overlay::compact() {
+  GraphBuilder& builder = scratch_.builder;
+  builder.reset(alive_.size());
+  builder.reserve_edges(graph_.num_edges() + staged_edges_.size());
+  for (std::size_t ei = 0; ei < graph_.num_edges(); ++ei) {
+    const auto e = static_cast<EdgeId>(ei);
+    if (edge_alive_[e] == 0) continue;
+    const Edge& ed = graph_.edge(e);
+    if (alive_[ed.tail] == 0 || alive_[ed.head] == 0) continue;
+    builder.add_edge(ed.tail, ed.head);
+  }
+  for (const Edge& ed : staged_edges_) {
+    if (alive_[ed.tail] != 0 && alive_[ed.head] != 0) {
+      builder.add_edge(ed.tail, ed.head);
+    }
+  }
+  builder.build_into(graph_);
+  staged_edges_.clear();
+  staged_vertices_ = 0;
+  edge_alive_.assign(graph_.num_edges(), 1u);
+  compaction_debt_ = 0;
+  bag_dirty_ = true;
+  ++compactions_;
+  ++epoch_;
+}
+
+bool Overlay::maybe_compact(double debt_threshold) {
+  SFS_REQUIRE(debt_threshold >= 0.0,
+              "Overlay::maybe_compact: threshold must be non-negative");
+  const bool staleness =
+      graph_.num_edges() > 0 &&
+      static_cast<double>(compaction_debt_) >
+          debt_threshold * static_cast<double>(graph_.num_edges());
+  if (staged_vertices_ == 0 && !staleness) return false;
+  compact();
+  return true;
+}
+
+}  // namespace sfs::graph

@@ -30,30 +30,56 @@ void SearchWorkspace::begin_run(std::size_t n, std::size_t m) {
   known_order_.clear();
 }
 
+void SearchWorkspace::debug_fast_forward_epoch(std::uint32_t epoch) {
+  SFS_REQUIRE(epoch >= epoch_,
+              "debug_fast_forward_epoch: epoch may only move forward");
+  epoch_ = epoch;
+}
+
+namespace {
+
+void validate_view_args(const graph::Graph& g, VertexId start, VertexId target,
+                        const LivenessView& liveness) {
+  SFS_REQUIRE(start < g.num_vertices(), "start vertex out of range");
+  SFS_REQUIRE(target < g.num_vertices(), "target vertex out of range");
+  SFS_REQUIRE(liveness.vertex_alive.empty() ||
+                  liveness.vertex_alive.size() == g.num_vertices(),
+              "liveness vertex mask size does not match the graph");
+  SFS_REQUIRE(liveness.edge_alive.empty() ||
+                  liveness.edge_alive.size() == g.num_edges(),
+              "liveness edge mask size does not match the graph");
+  SFS_REQUIRE(liveness.vertex_ok(start),
+              "search cannot start at a departed vertex");
+  SFS_REQUIRE(liveness.vertex_ok(target),
+              "search cannot target a departed vertex");
+}
+
+}  // namespace
+
 LocalView::LocalView(const graph::Graph& g, KnowledgeModel model,
-                     VertexId start, VertexId target)
+                     VertexId start, VertexId target, LivenessView liveness)
     : graph_(&g),
       model_(model),
       start_(start),
       target_(target),
+      liveness_(liveness),
       owned_(std::make_unique<SearchWorkspace>()),
       ws_(owned_.get()) {
-  SFS_REQUIRE(start < g.num_vertices(), "start vertex out of range");
-  SFS_REQUIRE(target < g.num_vertices(), "target vertex out of range");
+  validate_view_args(g, start, target, liveness_);
   ws_->begin_run(g.num_vertices(), g.num_edges());
   make_known(start, kNoVertex);
 }
 
 LocalView::LocalView(const graph::Graph& g, KnowledgeModel model,
                      VertexId start, VertexId target,
-                     SearchWorkspace& workspace)
+                     SearchWorkspace& workspace, LivenessView liveness)
     : graph_(&g),
       model_(model),
       start_(start),
       target_(target),
+      liveness_(liveness),
       ws_(&workspace) {
-  SFS_REQUIRE(start < g.num_vertices(), "start vertex out of range");
-  SFS_REQUIRE(target < g.num_vertices(), "target vertex out of range");
+  validate_view_args(g, start, target, liveness_);
   ws_->begin_run(g.num_vertices(), g.num_edges());
   make_known(start, kNoVertex);
 }
@@ -104,6 +130,15 @@ VertexId LocalView::request_edge(VertexId u, EdgeId e) {
 
   ++raw_requests_;
   const VertexId v = ed.tail == u ? ed.head : ed.tail;
+  if (!liveness_.edge_ok(e) || !liveness_.vertex_ok(v)) {
+    // Dead link or departed far endpoint: the probe fails and reveals
+    // nothing. Mark the edge explored so first_unexplored() skips the
+    // known-dead link from now on. (The liveness check runs before the
+    // cache check so a repeated probe of a dead edge stays a failure.)
+    ++failed_requests_;
+    ws_->explored_stamp_[e] = ws_->epoch_;
+    return kNoVertex;
+  }
   if (!explored(e)) {
     ++requests_;
     ws_->explored_stamp_[e] = ws_->epoch_;
@@ -119,12 +154,25 @@ std::span<const VertexId> LocalView::request_vertex_span(VertexId u) {
               "strong requests must name a vertex whose identity is known");
 
   ++raw_requests_;
+  if (!liveness_.vertex_ok(u)) {
+    // Departed peer: the probe fails with an empty answer. Mark it
+    // requested so vertex_requested() reports the known-dead state and
+    // policies stop proposing it. (Liveness before the cache check, as in
+    // request_edge.)
+    ++failed_requests_;
+    ws_->requested_stamp_[u] = ws_->epoch_;
+    return {};
+  }
   if (ws_->requested_stamp_[u] != ws_->epoch_) {
     ++requests_;
     ws_->requested_stamp_[u] = ws_->epoch_;
     const auto inc = graph_->incident(u);
     const auto adj = graph_->adjacent(u);
     for (std::size_t i = 0; i < inc.size(); ++i) {
+      // A dead link hides its endpoint entirely; a live link to a
+      // departed peer still discloses the stale identity (the probe that
+      // follows is what fails).
+      if (!liveness_.edge_ok(inc[i])) continue;
       ws_->explored_stamp_[inc[i]] = ws_->epoch_;
       const VertexId v = adj[i];
       if (!known(v)) make_known(v, u);

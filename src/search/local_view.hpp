@@ -59,6 +59,30 @@ struct WeakRequest {
   friend bool operator==(const WeakRequest&, const WeakRequest&) = default;
 };
 
+/// Liveness masks overlaying the searched snapshot (one byte per vertex /
+/// per edge id, nonzero = alive; graph::Overlay::vertex_alive_mask() and
+/// edge_alive_mask() produce them). An empty span means "all alive", so a
+/// default-constructed LivenessView is the static-graph case and adds no
+/// work to the hot path. The spans must outlive the LocalView and must not
+/// be mutated while a search is running (the Overlay single-writer
+/// contract).
+///
+/// Under a mask, requests can FAIL: probing a dead link or a departed
+/// peer returns no discovery (see request_edge / request_vertex_span).
+/// Failures model stale routing tables — the searcher only learns a
+/// neighbor is gone by spending a probe on it.
+struct LivenessView {
+  std::span<const std::uint8_t> vertex_alive{};  // empty = all alive
+  std::span<const std::uint8_t> edge_alive{};    // empty = all alive
+
+  [[nodiscard]] bool vertex_ok(graph::VertexId v) const noexcept {
+    return vertex_alive.empty() || vertex_alive[v] != 0;
+  }
+  [[nodiscard]] bool edge_ok(graph::EdgeId e) const noexcept {
+    return edge_alive.empty() || edge_alive[e] != 0;
+  }
+};
+
 /// Reusable per-search scratch state. The known/explored/requested flags
 /// are stamped with the run epoch instead of being booleans: a slot is
 /// "set" iff its stamp equals the current epoch, so resetting between runs
@@ -77,6 +101,17 @@ class SearchWorkspace {
   SearchWorkspace& operator=(const SearchWorkspace&) = delete;
   SearchWorkspace(SearchWorkspace&&) = delete;
   SearchWorkspace& operator=(SearchWorkspace&&) = delete;
+
+  /// The current run-epoch stamp (test/debug observability; 0 means no run
+  /// has started yet or the counter was just wrap-reset).
+  [[nodiscard]] std::uint32_t debug_epoch() const noexcept { return epoch_; }
+
+  /// Test hook: fast-forwards the run-epoch counter so the wrap-around
+  /// guard in begin_run can be exercised without ~2^32 real runs. Forward
+  /// only (a backward jump could alias live stamps as belonging to a
+  /// not-yet-started run, which is exactly the bug the guard prevents).
+  /// Must not be called while a LocalView is live on this workspace.
+  void debug_fast_forward_epoch(std::uint32_t epoch);
 
  private:
   friend class LocalView;
@@ -97,20 +132,25 @@ class LocalView {
  public:
   /// Starts a search over `g` from `start` for `target` with a private
   /// workspace. The view holds a reference to `g`; the graph must outlive
-  /// the view.
+  /// the view. A non-default `liveness` makes the view departure-tolerant
+  /// (masks must match the graph's sizes; start and target must be alive).
   LocalView(const graph::Graph& g, KnowledgeModel model, graph::VertexId start,
-            graph::VertexId target);
+            graph::VertexId target, LivenessView liveness = {});
 
   /// Same, but reuses the caller's workspace (zero-allocation when the
   /// workspace has already served a graph at least this large). The
   /// workspace must outlive the view and must not be shared with another
   /// live view.
   LocalView(const graph::Graph& g, KnowledgeModel model, graph::VertexId start,
-            graph::VertexId target, SearchWorkspace& workspace);
+            graph::VertexId target, SearchWorkspace& workspace,
+            LivenessView liveness = {});
 
   [[nodiscard]] KnowledgeModel model() const noexcept { return model_; }
   [[nodiscard]] graph::VertexId start() const noexcept { return start_; }
   [[nodiscard]] graph::VertexId target() const noexcept { return target_; }
+  [[nodiscard]] const LivenessView& liveness() const noexcept {
+    return liveness_;
+  }
 
   /// Global vertex count. The paper's processes know the id range [1, n],
   /// so exposing n leaks nothing beyond the model.
@@ -162,6 +202,12 @@ class LocalView {
   /// Weak-model request (u, e): requires model() == kWeak, `u` known and
   /// `e` incident to `u`. Returns the identity of the far endpoint, which
   /// becomes known. Charged once per edge.
+  ///
+  /// Under a liveness mask the probe FAILS (returns kNoVertex, reveals
+  /// nothing, counts toward failed_requests() but is never charged) when
+  /// the edge is dead or its far endpoint has departed; the edge is marked
+  /// explored so the searcher does not re-probe a known-dead link. Dead
+  /// vertices are thus never known in the weak model.
   graph::VertexId request_edge(graph::VertexId u, graph::EdgeId e);
   graph::VertexId request_edge(const WeakRequest& r) {
     return request_edge(r.u, r.e);
@@ -171,11 +217,23 @@ class LocalView {
   /// start vertex is known from the outset). All neighbors of `u` become
   /// known. Returns the neighbor identities (multiset, loop gives u).
   /// Charged once per vertex.
+  ///
+  /// Under a liveness mask, requesting a departed vertex FAILS (empty
+  /// result, failed_requests()++, never charged; `u` is marked requested
+  /// so policies skip it from then on). Opening a live vertex skips
+  /// dead-link slots — their endpoints stay invisible — but DOES reveal
+  /// departed endpoints reachable over live edges: neighbor tables are
+  /// stale, so the searcher learns those identities and only discovers
+  /// the departure by probing them.
   std::vector<graph::VertexId> request_vertex(graph::VertexId u);
 
   /// Allocation-free variant of request_vertex: the returned span aliases
   /// the graph's CSR neighbor payload and stays valid for the graph's
-  /// lifetime.
+  /// lifetime. Note: under a liveness mask the span is the *stale* CSR
+  /// neighbor table (it still lists endpoints behind dead links, which are
+  /// not revealed); consult is_known()/known_vertices() for what a failed
+  /// or filtered request actually disclosed. On a failed request the span
+  /// is empty.
   std::span<const graph::VertexId> request_vertex_span(graph::VertexId u);
 
   /// Whether `u` is "fully opened": in the strong model, already the
@@ -193,6 +251,12 @@ class LocalView {
   /// All requests including cached repeats.
   [[nodiscard]] std::size_t raw_requests() const noexcept {
     return raw_requests_;
+  }
+  /// Requests that failed against the liveness mask (dead link / departed
+  /// peer). Failed probes count toward raw_requests() but are never
+  /// charged; always 0 without a mask.
+  [[nodiscard]] std::size_t failed_requests() const noexcept {
+    return failed_requests_;
   }
 
   /// True once the target's identity is known (also true immediately if
@@ -220,12 +284,14 @@ class LocalView {
   KnowledgeModel model_;
   graph::VertexId start_;
   graph::VertexId target_;
+  LivenessView liveness_;
 
   std::unique_ptr<SearchWorkspace> owned_;  // null when borrowing
   SearchWorkspace* ws_;
 
   std::size_t requests_ = 0;
   std::size_t raw_requests_ = 0;
+  std::size_t failed_requests_ = 0;
 };
 
 }  // namespace sfs::search

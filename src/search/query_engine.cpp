@@ -3,6 +3,7 @@
 #include <string>
 
 #include "base/check.hpp"
+#include "graph/overlay.hpp"
 #include "rng/stream_audit.hpp"
 #include "sim/parallel.hpp"
 #include "sim/worker_context.hpp"
@@ -23,17 +24,31 @@ struct QueryEngine::Session {
   std::unique_ptr<WeakSearcher> weak;      // set iff model == kWeak
   std::unique_ptr<StrongSearcher> strong;  // set iff model == kStrong
   sim::WorkerContext ctx;
+  /// Overlay epoch this session last served (0 = fresh; overlay epochs
+  /// start at 1, so a fresh session over an overlay always rebuilds its
+  /// searcher into a counted, known-good state).
+  std::uint64_t overlay_epoch = 0;
 };
 
-QueryEngine::QueryEngine(const graph::Graph& g, std::string_view policy,
-                         QueryEngineOptions options)
-    : graph_(&g), options_(options) {
+void QueryEngine::bind_policy(std::string_view policy) {
   spec_ = PolicyRegistry::instance().find(policy);
   if (spec_ == nullptr) {
     throw std::invalid_argument(
         "QueryEngine: unknown policy '" + std::string(policy) +
         "' (see sfsearch_cli policies for the registry)");
   }
+}
+
+QueryEngine::QueryEngine(const graph::Graph& g, std::string_view policy,
+                         QueryEngineOptions options)
+    : graph_(&g), options_(options) {
+  bind_policy(policy);
+}
+
+QueryEngine::QueryEngine(const graph::Overlay& overlay,
+                         std::string_view policy, QueryEngineOptions options)
+    : graph_(&overlay.snapshot()), overlay_(&overlay), options_(options) {
+  bind_policy(policy);
 }
 
 QueryEngine::~QueryEngine() = default;
@@ -48,6 +63,22 @@ void QueryEngine::ensure_sessions(std::size_t workers) {
     }
     sessions_.push_back(std::move(session));
   }
+  if (overlay_ == nullptr) return;
+  // Invalidation: any session that last served an older overlay epoch gets
+  // a fresh searcher before this batch touches it. Sequential on purpose —
+  // it runs before the fan-out, so the rebuild counter needs no locking.
+  const std::uint64_t epoch = overlay_->epoch();
+  for (std::size_t w = 0; w < workers; ++w) {
+    Session& session = *sessions_[w];
+    if (session.overlay_epoch == epoch) continue;
+    if (spec_->model == KnowledgeModel::kWeak) {
+      session.weak = spec_->make_weak();
+    } else {
+      session.strong = spec_->make_strong();
+    }
+    session.overlay_epoch = epoch;
+    ++sessions_rebuilt_;
+  }
 }
 
 void QueryEngine::run_batch(std::span<const Query> queries,
@@ -59,14 +90,34 @@ void QueryEngine::run_batch(std::span<const Query> queries,
   // Validate the whole batch before running any of it: a malformed query
   // in the middle of a parallel batch must not leave half-written results.
   const std::size_t n = graph_->num_vertices();
+  if (overlay_ != nullptr) {
+    SFS_REQUIRE(overlay_->staged_joins() == 0,
+                "QueryEngine::run_batch: overlay has staged joins; compact "
+                "before serving queries");
+  }
   for (std::size_t i = 0; i < queries.size(); ++i) {
     SFS_REQUIRE(queries[i].start < n && queries[i].target < n,
                 "QueryEngine::run_batch: query " + std::to_string(i) +
                     " has endpoints outside the graph");
+    if (overlay_ != nullptr) {
+      SFS_REQUIRE(overlay_->alive(queries[i].start),
+                  "QueryEngine::run_batch: query " + std::to_string(i) +
+                      " starts at a departed vertex");
+      SFS_REQUIRE(overlay_->alive(queries[i].target),
+                  "QueryEngine::run_batch: query " + std::to_string(i) +
+                      " targets a departed vertex");
+    }
   }
   if (queries.empty()) return;
 
   ensure_sessions(sim::resolve_worker_count(threads));
+  // Epoch contract: the overlay must hold still for the whole batch.
+  const std::uint64_t epoch_at_start =
+      overlay_ != nullptr ? overlay_->epoch() : 0;
+  const LivenessView liveness =
+      overlay_ != nullptr ? LivenessView{overlay_->vertex_alive_mask(),
+                                         overlay_->edge_alive_mask()}
+                          : LivenessView{};
   sim::parallel_for(
       queries.size(), threads, [&](std::size_t i, std::size_t worker) {
         Session& session = *sessions_[worker];
@@ -74,7 +125,17 @@ void QueryEngine::run_batch(std::span<const Query> queries,
         // thread count, and replayable for a fixed batch.
         rng::Rng rng(rng::audited_stream_seed(options_.seed, kQueryStream, i));
         const Query& q = queries[i];
-        if (spec_->model == KnowledgeModel::kWeak) {
+        if (overlay_ != nullptr) {
+          if (spec_->model == KnowledgeModel::kWeak) {
+            results[i] = run_weak_tolerant(
+                *graph_, liveness, q.start, q.target, *session.weak, rng,
+                options_.budget, options_.retry, session.ctx.workspace);
+          } else {
+            results[i] = run_strong_tolerant(
+                *graph_, liveness, q.start, q.target, *session.strong, rng,
+                options_.budget, options_.retry, session.ctx.workspace);
+          }
+        } else if (spec_->model == KnowledgeModel::kWeak) {
           results[i] = run_weak(*graph_, q.start, q.target, *session.weak,
                                 rng, options_.budget, session.ctx.workspace);
         } else {
@@ -83,6 +144,11 @@ void QueryEngine::run_batch(std::span<const Query> queries,
                                   session.ctx.workspace);
         }
       });
+  if (overlay_ != nullptr) {
+    SFS_CHECK(overlay_->epoch() == epoch_at_start,
+              "QueryEngine::run_batch: overlay mutated while the batch was "
+              "running (single-writer contract violated)");
+  }
   queries_served_ += queries.size();
 }
 

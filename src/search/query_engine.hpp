@@ -27,6 +27,23 @@
 // its own engine seed (or one big batch) when independence matters.
 // Derivations go through the audited wrapper, so a batch run under
 // SFS_RNG_AUDIT=1 verifies its stream plan (rng/stream_audit.hpp).
+//
+// Overlay binding (dynamic graphs): an engine constructed over a
+// graph::Overlay serves departure-tolerant queries against the overlay's
+// live topology (liveness masks + the runner's RetryBudget). Batches must
+// observe a consistent snapshot, enforced with the overlay's epoch
+// counter:
+//
+//   * a batch records the epoch before fanning out and SFS_CHECKs it
+//     unchanged after the join — a mutation racing a running batch is a
+//     contract violation, not a data race discovered the hard way;
+//   * between batches the overlay may mutate freely: each session
+//     remembers the epoch it last served, and run_batch rebuilds stale
+//     sessions (fresh searcher instance; sessions_rebuilt() counts them)
+//     before any query runs;
+//   * staged joins must be committed (Overlay::compact /
+//     maybe_compact) before serving — queries cannot route to a peer the
+//     CSR snapshot has never seen.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +54,10 @@
 
 #include "search/policy.hpp"
 #include "search/runner.hpp"
+
+namespace sfs::graph {
+class Overlay;
+}
 
 namespace sfs::search {
 
@@ -54,6 +75,9 @@ struct QueryEngineOptions {
   RunBudget budget;
   /// Base seed of the session's per-query streams.
   std::uint64_t seed = 0;
+  /// Failure tolerance per query; only consulted by overlay-bound engines
+  /// (static-graph queries cannot fail probes).
+  RetryBudget retry;
 };
 
 class QueryEngine {
@@ -63,6 +87,13 @@ class QueryEngine {
   /// std::invalid_argument on an unknown policy name. The graph must
   /// outlive the engine.
   QueryEngine(const graph::Graph& g, std::string_view policy,
+              QueryEngineOptions options = {});
+
+  /// Overlay-bound engine: queries run departure-tolerant against
+  /// `overlay`'s live topology, and batches enforce the epoch contract
+  /// described above. The overlay must outlive the engine and must not be
+  /// mutated while a batch is running.
+  QueryEngine(const graph::Overlay& overlay, std::string_view policy,
               QueryEngineOptions options = {});
   ~QueryEngine();
 
@@ -79,6 +110,20 @@ class QueryEngine {
   [[nodiscard]] std::size_t queries_served() const noexcept {
     return queries_served_;
   }
+  /// The bound overlay, or nullptr for a static-graph engine.
+  [[nodiscard]] const graph::Overlay* overlay() const noexcept {
+    return overlay_;
+  }
+  /// Sessions recreated because the overlay mutated between batches.
+  [[nodiscard]] std::size_t sessions_rebuilt() const noexcept {
+    return sessions_rebuilt_;
+  }
+
+  /// Re-seeds the per-query streams. Multi-round traffic over one engine
+  /// (e.g. the d1_churn rounds between churn steps) must give every round
+  /// its own seed — batch streams are positional, so same-seed rounds
+  /// would replay identical randomness (see the header comment).
+  void set_seed(std::uint64_t seed) noexcept { options_.seed = seed; }
 
   /// Runs every query; results[i] answers queries[i]. `threads` selects
   /// the fan-out: 1 (default) = sequential, 0 = the shared pool, n = a
@@ -96,8 +141,10 @@ class QueryEngine {
  private:
   struct Session;
   void ensure_sessions(std::size_t workers);
+  void bind_policy(std::string_view policy);
 
   const graph::Graph* graph_;
+  const graph::Overlay* overlay_ = nullptr;  // null for static engines
   const PolicySpec* spec_;
   QueryEngineOptions options_;
   /// One session (searcher instance + WorkerContext) per worker index,
@@ -105,6 +152,7 @@ class QueryEngine {
   /// allocate nothing in the engine itself.
   std::vector<std::unique_ptr<Session>> sessions_;
   std::size_t queries_served_ = 0;
+  std::size_t sessions_rebuilt_ = 0;
 };
 
 }  // namespace sfs::search

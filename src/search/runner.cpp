@@ -4,13 +4,17 @@ namespace sfs::search {
 
 namespace {
 
-SearchResult finish(const LocalView& view, bool budget_hit, bool gave_up) {
+SearchResult finish(const LocalView& view, bool budget_hit, bool gave_up,
+                    std::size_t restarts = 0, bool abandoned = false) {
   SearchResult r;
   r.found = view.target_found();
   r.requests = view.requests();
   r.raw_requests = view.raw_requests();
+  r.failed_requests = view.failed_requests();
   r.budget_exhausted = budget_hit;
   r.gave_up = gave_up;
+  r.restarts = restarts;
+  r.abandoned = abandoned;
   if (r.found) {
     const auto path = view.discovery_path();
     r.path_length = path.empty() ? 0 : path.size() - 1;
@@ -18,36 +22,74 @@ SearchResult finish(const LocalView& view, bool budget_hit, bool gave_up) {
   return r;
 }
 
+// One loop serves both the static and the tolerant runs. The failure
+// branch keys off view.failed_requests(), which never moves without a
+// liveness mask, so a static run takes the exact pre-churn path (same
+// calls, same RNG draws) — bit-identity by construction, not by testing.
 SearchResult drive_weak(LocalView& view, WeakSearcher& searcher, rng::Rng& rng,
-                        const RunBudget& budget) {
+                        const RunBudget& budget, const RetryBudget& retry) {
   searcher.start(view, rng);
+  std::size_t consecutive_failures = 0;
+  std::size_t restarts = 0;
   while (!view.target_found()) {
     if (view.requests() >= budget.max_requests ||
         view.raw_requests() >= budget.max_raw_requests) {
-      return finish(view, /*budget_hit=*/true, /*gave_up=*/false);
+      return finish(view, /*budget_hit=*/true, /*gave_up=*/false, restarts);
     }
     const auto req = searcher.next(view, rng);
-    if (!req) return finish(view, false, /*gave_up=*/true);
+    if (!req) return finish(view, false, /*gave_up=*/true, restarts);
+    const std::size_t failures_before = view.failed_requests();
     const graph::VertexId revealed = view.request_edge(*req);
+    if (view.failed_requests() != failures_before) {
+      // Stranded probe: the policy never observes it (the view already
+      // marked the link dead). Too many in a row -> restart the policy on
+      // the retained knowledge; out of restarts -> abandon.
+      if (++consecutive_failures > retry.max_consecutive_failures) {
+        if (restarts >= retry.max_restarts) {
+          return finish(view, false, false, restarts, /*abandoned=*/true);
+        }
+        ++restarts;
+        consecutive_failures = 0;
+        searcher.start(view, rng);
+      }
+      continue;
+    }
+    consecutive_failures = 0;
     searcher.observe(view, *req, revealed);
   }
-  return finish(view, false, false);
+  return finish(view, false, false, restarts);
 }
 
 SearchResult drive_strong(LocalView& view, StrongSearcher& searcher,
-                          rng::Rng& rng, const RunBudget& budget) {
+                          rng::Rng& rng, const RunBudget& budget,
+                          const RetryBudget& retry) {
   searcher.start(view, rng);
+  std::size_t consecutive_failures = 0;
+  std::size_t restarts = 0;
   while (!view.target_found()) {
     if (view.requests() >= budget.max_requests ||
         view.raw_requests() >= budget.max_raw_requests) {
-      return finish(view, true, false);
+      return finish(view, true, false, restarts);
     }
     const auto req = searcher.next(view, rng);
-    if (!req) return finish(view, false, true);
+    if (!req) return finish(view, false, true, restarts);
+    const std::size_t failures_before = view.failed_requests();
     const auto neighbors = view.request_vertex_span(*req);
+    if (view.failed_requests() != failures_before) {
+      if (++consecutive_failures > retry.max_consecutive_failures) {
+        if (restarts >= retry.max_restarts) {
+          return finish(view, false, false, restarts, /*abandoned=*/true);
+        }
+        ++restarts;
+        consecutive_failures = 0;
+        searcher.start(view, rng);
+      }
+      continue;
+    }
+    consecutive_failures = 0;
     searcher.observe(view, *req, neighbors);
   }
-  return finish(view, false, false);
+  return finish(view, false, false, restarts);
 }
 
 }  // namespace
@@ -56,14 +98,14 @@ SearchResult run_weak(const graph::Graph& g, graph::VertexId start,
                       graph::VertexId target, WeakSearcher& searcher,
                       rng::Rng& rng, const RunBudget& budget) {
   LocalView view(g, KnowledgeModel::kWeak, start, target);
-  return drive_weak(view, searcher, rng, budget);
+  return drive_weak(view, searcher, rng, budget, RetryBudget{});
 }
 
 SearchResult run_strong(const graph::Graph& g, graph::VertexId start,
                         graph::VertexId target, StrongSearcher& searcher,
                         rng::Rng& rng, const RunBudget& budget) {
   LocalView view(g, KnowledgeModel::kStrong, start, target);
-  return drive_strong(view, searcher, rng, budget);
+  return drive_strong(view, searcher, rng, budget, RetryBudget{});
 }
 
 SearchResult run_weak(const graph::Graph& g, graph::VertexId start,
@@ -71,7 +113,7 @@ SearchResult run_weak(const graph::Graph& g, graph::VertexId start,
                       rng::Rng& rng, const RunBudget& budget,
                       SearchWorkspace& workspace) {
   LocalView view(g, KnowledgeModel::kWeak, start, target, workspace);
-  return drive_weak(view, searcher, rng, budget);
+  return drive_weak(view, searcher, rng, budget, RetryBudget{});
 }
 
 SearchResult run_strong(const graph::Graph& g, graph::VertexId start,
@@ -79,7 +121,30 @@ SearchResult run_strong(const graph::Graph& g, graph::VertexId start,
                         rng::Rng& rng, const RunBudget& budget,
                         SearchWorkspace& workspace) {
   LocalView view(g, KnowledgeModel::kStrong, start, target, workspace);
-  return drive_strong(view, searcher, rng, budget);
+  return drive_strong(view, searcher, rng, budget, RetryBudget{});
+}
+
+SearchResult run_weak_tolerant(const graph::Graph& g,
+                               const LivenessView& liveness,
+                               graph::VertexId start, graph::VertexId target,
+                               WeakSearcher& searcher, rng::Rng& rng,
+                               const RunBudget& budget,
+                               const RetryBudget& retry,
+                               SearchWorkspace& workspace) {
+  LocalView view(g, KnowledgeModel::kWeak, start, target, workspace, liveness);
+  return drive_weak(view, searcher, rng, budget, retry);
+}
+
+SearchResult run_strong_tolerant(const graph::Graph& g,
+                                 const LivenessView& liveness,
+                                 graph::VertexId start, graph::VertexId target,
+                                 StrongSearcher& searcher, rng::Rng& rng,
+                                 const RunBudget& budget,
+                                 const RetryBudget& retry,
+                                 SearchWorkspace& workspace) {
+  LocalView view(g, KnowledgeModel::kStrong, start, target, workspace,
+                 liveness);
+  return drive_strong(view, searcher, rng, budget, retry);
 }
 
 }  // namespace sfs::search

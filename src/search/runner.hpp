@@ -1,5 +1,15 @@
 // Drives a searcher against a LocalView until the target is found, the
 // policy gives up, or a budget is exhausted.
+//
+// The *_tolerant variants run the same loop against a liveness-masked view
+// (graph::Overlay masks): failed probes (dead link / departed peer) are
+// absorbed by a bounded RetryBudget instead of being surfaced to the
+// policy — the policy only ever observes successful answers, and a search
+// that keeps stranding is restarted (policy state reset, discovered
+// knowledge retained) and finally abandoned. With empty masks the failure
+// branch is unreachable and consumes no randomness, so a tolerant run
+// over an all-alive overlay is bit-identical to the static run — the
+// churn-rate-0 acceptance invariant.
 #pragma once
 
 #include <cstdint>
@@ -19,12 +29,27 @@ struct RunBudget {
   std::size_t max_raw_requests = std::numeric_limits<std::size_t>::max();
 };
 
+/// Bounds on how much probe failure a tolerant run absorbs before
+/// escalating. Failures are "consecutive" across requests: any successful
+/// probe resets the streak.
+struct RetryBudget {
+  /// Failed probes in a row tolerated before the policy is restarted
+  /// (searcher.start() again; the view keeps everything discovered so
+  /// far, so a restart re-plans rather than re-pays).
+  std::size_t max_consecutive_failures = 8;
+  /// Restarts allowed before the search is abandoned outright.
+  std::size_t max_restarts = 2;
+};
+
 struct SearchResult {
   bool found = false;
   /// Charged requests when the search stopped.
   std::size_t requests = 0;
   /// Raw requests (incl. repeats) when the search stopped.
   std::size_t raw_requests = 0;
+  /// Probes that failed against the liveness mask (always 0 for static
+  /// runs).
+  std::size_t failed_requests = 0;
   /// Number of edges of the discovered start->target path (0 if !found and
   /// also 0 when start == target).
   std::size_t path_length = 0;
@@ -32,6 +57,10 @@ struct SearchResult {
   bool budget_exhausted = false;
   /// True if the policy returned nullopt (gave up / exhausted region).
   bool gave_up = false;
+  /// Policy restarts consumed from the RetryBudget.
+  std::size_t restarts = 0;
+  /// True if the run stopped because the RetryBudget ran dry.
+  bool abandoned = false;
 };
 
 /// Runs a weak-model search for `target` from `start` on `g`.
@@ -64,5 +93,21 @@ struct SearchResult {
                                       StrongSearcher& searcher, rng::Rng& rng,
                                       const RunBudget& budget,
                                       SearchWorkspace& workspace);
+
+/// Departure-tolerant runs over a liveness-masked snapshot. `liveness`
+/// usually comes from a graph::Overlay (vertex_alive_mask /
+/// edge_alive_mask over overlay.snapshot()); with empty masks these are
+/// bit-identical to the static overloads above.
+[[nodiscard]] SearchResult run_weak_tolerant(
+    const graph::Graph& g, const LivenessView& liveness,
+    graph::VertexId start, graph::VertexId target, WeakSearcher& searcher,
+    rng::Rng& rng, const RunBudget& budget, const RetryBudget& retry,
+    SearchWorkspace& workspace);
+
+[[nodiscard]] SearchResult run_strong_tolerant(
+    const graph::Graph& g, const LivenessView& liveness,
+    graph::VertexId start, graph::VertexId target, StrongSearcher& searcher,
+    rng::Rng& rng, const RunBudget& budget, const RetryBudget& retry,
+    SearchWorkspace& workspace);
 
 }  // namespace sfs::search

@@ -96,6 +96,9 @@ PortfolioCost measure_portfolio_impl(const MakeGraph& make_graph,
   std::vector<stats::Accumulator> req_acc(num_policies);
   std::vector<stats::Accumulator> raw_acc(num_policies);
   std::vector<std::size_t> found(num_policies, 0);
+  std::vector<std::size_t> failed_sum(num_policies, 0);
+  std::vector<std::size_t> restart_sum(num_policies, 0);
+  std::vector<std::size_t> abandoned(num_policies, 0);
   std::vector<std::vector<double>> req_values(num_policies);
   for (auto& v : req_values) v.reserve(reps);
   for (std::size_t rep = 0; rep < reps; ++rep) {
@@ -105,6 +108,9 @@ PortfolioCost measure_portfolio_impl(const MakeGraph& make_graph,
       raw_acc[i].add(static_cast<double>(r.raw_requests));
       req_values[i].push_back(static_cast<double>(r.requests));
       if (r.found) ++found[i];
+      failed_sum[i] += r.failed_requests;
+      restart_sum[i] += r.restarts;
+      if (r.abandoned) ++abandoned[i];
     }
   }
 
@@ -119,6 +125,12 @@ PortfolioCost measure_portfolio_impl(const MakeGraph& make_graph,
     out.policies[i].p90_requests = stats::quantile_sorted(req_values[i], 0.9);
     out.policies[i].found_fraction =
         static_cast<double>(found[i]) / static_cast<double>(reps);
+    out.policies[i].mean_failed_requests =
+        static_cast<double>(failed_sum[i]) / static_cast<double>(reps);
+    out.policies[i].mean_restarts =
+        static_cast<double>(restart_sum[i]) / static_cast<double>(reps);
+    out.policies[i].abandoned_fraction =
+        static_cast<double>(abandoned[i]) / static_cast<double>(reps);
   }
 
   // Best: lowest mean charged requests, preferring always-successful

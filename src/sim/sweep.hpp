@@ -58,6 +58,13 @@ struct PolicyCost {
   double median_requests = 0.0;  // median charged requests over reps
   double p90_requests = 0.0;     // 90th percentile charged requests
   double found_fraction = 0.0;   // replications that reached the target
+  // Churn columns (identically zero for static-graph measurements): probe
+  // failures against a liveness mask, policy restarts consumed from the
+  // RetryBudget, and the fraction of replications abandoned when that
+  // budget ran dry (see search/runner.hpp).
+  double mean_failed_requests = 0.0;
+  double mean_restarts = 0.0;
+  double abandoned_fraction = 0.0;
 };
 
 struct PortfolioCost {

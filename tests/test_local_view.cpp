@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+#include <vector>
+
 #include "graph/builder.hpp"
 
 namespace {
@@ -13,7 +17,9 @@ using sfs::graph::GraphBuilder;
 using sfs::graph::kNoVertex;
 using sfs::graph::VertexId;
 using sfs::search::KnowledgeModel;
+using sfs::search::LivenessView;
 using sfs::search::LocalView;
+using sfs::search::SearchWorkspace;
 
 // Path 0 - 1 - 2 - 3 (edges 0,1,2).
 Graph path4() {
@@ -248,6 +254,161 @@ TEST(LocalView, EndpointRangeChecked) {
   EXPECT_THROW(LocalView(g, KnowledgeModel::kWeak, 4, 0),
                std::invalid_argument);
   EXPECT_THROW(LocalView(g, KnowledgeModel::kWeak, 0, 7),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------- epoch wraparound
+
+// Regression test for the stamp-wraparound guard in begin_run: after
+// ~2^32 runs the epoch counter wraps, and stamps written by ancient runs
+// would alias the fresh epoch unless the arrays are re-zeroed. Simulated
+// via SearchWorkspace::debug_fast_forward_epoch instead of 2^32 real runs.
+TEST(SearchWorkspaceEpoch, WrapRezeroesStaleStamps) {
+  const Graph g = path4();
+  SearchWorkspace ws;
+  {
+    // Run at epoch 1: reveal vertex 1 so known/explored stamps hold 1.
+    LocalView view(g, KnowledgeModel::kWeak, 0, 3, ws);
+    ASSERT_EQ(ws.debug_epoch(), 1u);
+    (void)view.request_edge(0, 0);
+    ASSERT_TRUE(view.is_known(1));
+  }
+  ws.debug_fast_forward_epoch(std::numeric_limits<std::uint32_t>::max());
+  // The next run wraps the counter back to epoch 1 — the exact value the
+  // stale stamps still hold. Without the re-zeroing guard, vertex 1 and
+  // edge 0 would leak into this run as spuriously known/explored.
+  LocalView view(g, KnowledgeModel::kWeak, 0, 3, ws);
+  EXPECT_EQ(ws.debug_epoch(), 1u);
+  EXPECT_FALSE(view.is_known(1));
+  EXPECT_FALSE(view.edge_explored(0));
+  ASSERT_EQ(view.known_vertices().size(), 1u);
+  EXPECT_EQ(view.known_vertices()[0], 0u);
+  // And the post-wrap run behaves like any other.
+  EXPECT_EQ(view.request_edge(0, 0), 1u);
+  EXPECT_TRUE(view.is_known(1));
+  EXPECT_EQ(view.requests(), 1u);
+}
+
+TEST(SearchWorkspaceEpoch, SurvivesRunsStraddlingTheWrap) {
+  const Graph g = path4();
+  SearchWorkspace ws;
+  ws.debug_fast_forward_epoch(std::numeric_limits<std::uint32_t>::max() - 1);
+  for (int run = 0; run < 4; ++run) {
+    LocalView view(g, KnowledgeModel::kStrong, 0, 3, ws);
+    EXPECT_FALSE(view.is_known(1)) << "run " << run;
+    (void)view.request_vertex(0);
+    EXPECT_TRUE(view.is_known(1)) << "run " << run;
+    EXPECT_EQ(view.requests(), 1u) << "run " << run;
+  }
+}
+
+TEST(SearchWorkspaceEpoch, FastForwardIsForwardOnly) {
+  SearchWorkspace ws;
+  ws.debug_fast_forward_epoch(100u);
+  EXPECT_EQ(ws.debug_epoch(), 100u);
+  EXPECT_THROW(ws.debug_fast_forward_epoch(99u), std::invalid_argument);
+}
+
+// ------------------------------------------------------- liveness masks
+
+// path4 masks: all alive unless flipped.
+struct Masks {
+  std::vector<std::uint8_t> v;
+  std::vector<std::uint8_t> e;
+  explicit Masks(const Graph& g)
+      : v(g.num_vertices(), 1u), e(g.num_edges(), 1u) {}
+  [[nodiscard]] LivenessView view() const { return {v, e}; }
+};
+
+TEST(LocalViewLiveness, EmptyMaskMatchesStaticBehavior) {
+  const Graph g = path4();
+  LocalView masked(g, KnowledgeModel::kWeak, 0, 3, LivenessView{});
+  EXPECT_EQ(masked.request_edge(0, 0), 1u);
+  EXPECT_EQ(masked.failed_requests(), 0u);
+}
+
+TEST(LocalViewLiveness, WeakProbeOfDeadEdgeFails) {
+  const Graph g = path4();
+  Masks m(g);
+  m.e[0] = 0;  // link 0-1 failed
+  LocalView view(g, KnowledgeModel::kWeak, 0, 3, m.view());
+  EXPECT_EQ(view.request_edge(0, 0), kNoVertex);
+  EXPECT_FALSE(view.is_known(1));
+  EXPECT_EQ(view.failed_requests(), 1u);
+  EXPECT_EQ(view.raw_requests(), 1u);
+  EXPECT_EQ(view.requests(), 0u);  // failures are never charged
+  // The dead link is marked explored so policies stop offering it...
+  EXPECT_TRUE(view.edge_explored(0));
+  EXPECT_FALSE(view.has_unexplored(0));
+  // ...and re-probing it stays a failure, not a cached success.
+  EXPECT_EQ(view.request_edge(0, 0), kNoVertex);
+  EXPECT_EQ(view.failed_requests(), 2u);
+  EXPECT_EQ(view.requests(), 0u);
+}
+
+TEST(LocalViewLiveness, WeakProbeOfDepartedEndpointFails) {
+  const Graph g = path4();
+  Masks m(g);
+  m.v[1] = 0;  // peer 1 departed; edge 0 itself still "up"
+  LocalView view(g, KnowledgeModel::kWeak, 0, 2, m.view());
+  EXPECT_EQ(view.request_edge(0, 0), kNoVertex);
+  EXPECT_FALSE(view.is_known(1));
+  EXPECT_EQ(view.failed_requests(), 1u);
+  EXPECT_TRUE(view.edge_explored(0));
+}
+
+TEST(LocalViewLiveness, StrongRequestOfDepartedVertexFails) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 3);
+  const Graph g = b.build();
+  Masks m(g);
+  m.v[1] = 0;
+  LocalView view(g, KnowledgeModel::kStrong, 0, 3, m.view());
+  // Opening 0 over live edges still lists departed neighbor 1: routing
+  // tables are stale, identities leak before liveness does.
+  (void)view.request_vertex(0);
+  ASSERT_TRUE(view.is_known(1));
+  const auto dead = view.request_vertex(1);
+  EXPECT_TRUE(dead.empty());
+  EXPECT_EQ(view.failed_requests(), 1u);
+  EXPECT_EQ(view.requests(), 1u);  // only the live open was charged
+  EXPECT_FALSE(view.is_known(3));
+  // The failed vertex is marked requested so policies skip it.
+  EXPECT_TRUE(view.vertex_requested(1));
+}
+
+TEST(LocalViewLiveness, StrongOpenSkipsDeadEdgeSlots) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  const Graph g = b.build();
+  Masks m(g);
+  m.e[1] = 0;  // link 0-2 failed; vertex 2 alive but unreachable via it
+  LocalView view(g, KnowledgeModel::kStrong, 0, 2, m.view());
+  (void)view.request_vertex(0);
+  EXPECT_TRUE(view.is_known(1));
+  EXPECT_FALSE(view.is_known(2));  // endpoint behind a dead link invisible
+  EXPECT_FALSE(view.target_found());
+}
+
+TEST(LocalViewLiveness, CtorRejectsDeadEndpointsAndBadMaskSizes) {
+  const Graph g = path4();
+  Masks m(g);
+  m.v[0] = 0;
+  EXPECT_THROW(LocalView(g, KnowledgeModel::kWeak, 0, 3, m.view()),
+               std::invalid_argument);
+  m.v[0] = 1;
+  m.v[3] = 0;
+  EXPECT_THROW(LocalView(g, KnowledgeModel::kWeak, 0, 3, m.view()),
+               std::invalid_argument);
+  const std::vector<std::uint8_t> short_mask(2, 1u);
+  EXPECT_THROW(LocalView(g, KnowledgeModel::kWeak, 0, 3,
+                         LivenessView{short_mask, {}}),
+               std::invalid_argument);
+  EXPECT_THROW(LocalView(g, KnowledgeModel::kWeak, 0, 3,
+                         LivenessView{{}, short_mask}),
                std::invalid_argument);
 }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "gen/mori.hpp"
+#include "graph/overlay.hpp"
 #include "rng/stream_audit.hpp"
 
 namespace {
@@ -49,6 +50,9 @@ void expect_identical(const std::vector<SearchResult>& a,
     EXPECT_EQ(a[i].path_length, b[i].path_length) << i;
     EXPECT_EQ(a[i].budget_exhausted, b[i].budget_exhausted) << i;
     EXPECT_EQ(a[i].gave_up, b[i].gave_up) << i;
+    EXPECT_EQ(a[i].failed_requests, b[i].failed_requests) << i;
+    EXPECT_EQ(a[i].restarts, b[i].restarts) << i;
+    EXPECT_EQ(a[i].abandoned, b[i].abandoned) << i;
   }
 }
 
@@ -148,6 +152,98 @@ TEST(QueryEngine, EmptyBatchIsANoOp) {
   const auto results = engine.run_batch({});
   EXPECT_TRUE(results.empty());
   EXPECT_EQ(engine.queries_served(), 0u);
+}
+
+// --------------------------------------------------------- overlay binding
+
+TEST(QueryEngineOverlay, UnknownPolicyIsCheckedError) {
+  sfs::graph::Overlay overlay(test_graph(60));
+  EXPECT_THROW(QueryEngine(overlay, "no-such-policy"), std::invalid_argument);
+}
+
+TEST(QueryEngineOverlay, PristineOverlayMatchesStaticEngineBitForBit) {
+  // The churn-rate-0 contract at the engine level: an overlay that has
+  // never mutated must answer exactly like a static engine on its
+  // snapshot, for both knowledge models.
+  sfs::graph::Overlay overlay(test_graph());
+  const auto queries = test_queries(overlay.snapshot(), 25, 11);
+  for (const char* policy : {"random-walk", "degree-greedy-strong"}) {
+    QueryEngineOptions options;
+    options.seed = 0xD1;
+    options.budget.max_raw_requests = 20000;
+    QueryEngine dynamic(overlay, policy, options);
+    QueryEngine fixed(overlay.snapshot(), policy, options);
+    expect_identical(dynamic.run_batch(queries, 2), fixed.run_batch(queries));
+  }
+}
+
+TEST(QueryEngineOverlay, DepartedEndpointsAreCheckedErrors) {
+  sfs::graph::Overlay overlay(test_graph(80));
+  overlay.depart(3);
+  overlay.depart(7);
+  QueryEngine engine(overlay, "bfs");
+  const std::vector<Query> to_dead{Query{.start = 0, .target = 7}};
+  const std::vector<Query> from_dead{Query{.start = 3, .target = 0}};
+  EXPECT_THROW((void)engine.run_batch(to_dead), std::invalid_argument);
+  EXPECT_THROW((void)engine.run_batch(from_dead), std::invalid_argument);
+  EXPECT_EQ(engine.queries_served(), 0u);
+  // A live pair on the same engine still runs.
+  const std::vector<Query> live{Query{.start = 0, .target = 1}};
+  EXPECT_EQ(engine.run_batch(live).size(), 1u);
+  EXPECT_EQ(engine.queries_served(), 1u);
+}
+
+TEST(QueryEngineOverlay, StagedJoinsMustBeCompactedBeforeServing) {
+  sfs::graph::Overlay overlay(test_graph(60));
+  sfs::rng::Rng rng(5);
+  (void)overlay.join(2, rng);
+  QueryEngine engine(overlay, "bfs");
+  const std::vector<Query> one{Query{.start = 0, .target = 1}};
+  EXPECT_THROW((void)engine.run_batch(one), std::invalid_argument);
+  overlay.compact();
+  EXPECT_EQ(engine.run_batch(one).size(), 1u);
+}
+
+TEST(QueryEngineOverlay, MutationBetweenBatchesRebuildsSessions) {
+  sfs::graph::Overlay overlay(test_graph());
+  QueryEngineOptions options;
+  options.budget.max_raw_requests = 20000;
+  QueryEngine engine(overlay, "degree-greedy-strong", options);
+  const auto queries = test_queries(overlay.snapshot(), 10, 21);
+  (void)engine.run_batch(queries);
+  // Fresh sessions count as rebuilds (overlay epochs start above the
+  // session's initial marker); remember the baseline.
+  const std::size_t baseline = engine.sessions_rebuilt();
+  (void)engine.run_batch(queries);
+  EXPECT_EQ(engine.sessions_rebuilt(), baseline);  // unchanged epoch: reuse
+  overlay.depart(0);
+  auto live_queries = test_queries(overlay.snapshot(), 10, 22);
+  for (auto& q : live_queries) {  // steer clear of the departed vertex
+    if (q.start == 0) q.start = 1;
+    if (q.target <= 1) q.target = 2;
+  }
+  (void)engine.run_batch(live_queries);
+  EXPECT_GT(engine.sessions_rebuilt(), baseline);  // stale epoch: rebuilt
+}
+
+TEST(QueryEngineOverlay, SetSeedGivesRoundsIndependentRandomness) {
+  sfs::graph::Overlay overlay(test_graph());
+  QueryEngineOptions options;
+  options.seed = 1;
+  options.budget.max_raw_requests = 20000;
+  QueryEngine engine(overlay, "random-walk", options);
+  const auto queries = test_queries(overlay.snapshot(), 12, 31);
+  const auto round1 = engine.run_batch(queries);
+  engine.set_seed(2);
+  const auto round2 = engine.run_batch(queries);
+  engine.set_seed(1);
+  const auto replay = engine.run_batch(queries);
+  expect_identical(round1, replay);  // same seed: bit-identical replay
+  bool any_different = false;        // new seed: fresh randomness
+  for (std::size_t i = 0; i < round1.size(); ++i) {
+    any_different |= round1[i].raw_requests != round2[i].raw_requests;
+  }
+  EXPECT_TRUE(any_different);
 }
 
 }  // namespace
