@@ -4,7 +4,53 @@
 
 #include <vector>
 
+#include "sim/json.hpp"
+
 namespace sfs::bench {
+
+namespace {
+
+/// ConsoleReporter that also forwards every per-iteration run into the
+/// experiment's results emitter, one BENCH_JSON object per benchmark case.
+/// Before this reporter the gbench experiments (m1/m2) printed their
+/// console table but emitted nothing, so `--json` produced an empty file
+/// (the committed BENCH_m2.json was 0 bytes); now the gbench and
+/// harness-driven experiments share the same artifact contract.
+class EmitterReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit EmitterReporter(sfs::sim::ExperimentContext& ctx)
+      : ctx_(&ctx), bench_(ctx.spec->name) {}
+
+  void ReportRuns(const std::vector<Run>& report) override {
+    benchmark::ConsoleReporter::ReportRuns(report);
+    for (const Run& run : report) {
+      // Aggregates (mean/stddev under --benchmark_repetitions) would
+      // duplicate the per-iteration rows under the same names; emit the
+      // primary measurements only.
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      sfs::sim::JsonObjectWriter json;
+      json.str_field("bench", bench_);
+      json.str_field("case", run.benchmark_name());
+      json.int_field("iterations",
+                     static_cast<std::uint64_t>(run.iterations));
+      json.num_field("real_time", run.GetAdjustedRealTime());
+      json.num_field("cpu_time", run.GetAdjustedCPUTime());
+      json.str_field("time_unit",
+                     benchmark::GetTimeUnitString(run.time_unit));
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        json.num_field("items_per_second", items->second.value);
+      }
+      ctx_->emitter->emit_object(json.str());
+    }
+  }
+
+ private:
+  sfs::sim::ExperimentContext* ctx_;
+  std::string bench_;
+};
+
+}  // namespace
 
 int run_gbench_experiment(sfs::sim::ExperimentContext& ctx,
                           const std::string& filter) {
@@ -23,7 +69,8 @@ int run_gbench_experiment(sfs::sim::ExperimentContext& ctx,
   for (auto& arg : args) argv.push_back(arg.data());
   int argc = static_cast<int>(argv.size());
   benchmark::Initialize(&argc, argv.data());
-  const std::size_t ran = benchmark::RunSpecifiedBenchmarks();
+  EmitterReporter reporter(ctx);
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks(&reporter);
   if (ran == 0) {
     ctx.console() << "no benchmarks matched filter " << filter << "\n";
     return 1;

@@ -14,7 +14,11 @@
 namespace sfs::bench {
 
 /// Runs the gbench cases whose names match `filter` (a gbench filter
-/// regex). Under ctx --quick, --benchmark_min_time drops to 0.05s.
+/// regex). Under ctx --quick, --benchmark_min_time drops to 0.05s. Every
+/// per-iteration result is also forwarded to ctx.emitter as one
+/// BENCH_JSON object (keys: bench, case, iterations, real_time, cpu_time,
+/// time_unit, and items_per_second when the case reports it), so --json
+/// captures gbench experiments like any harness-driven one.
 /// Returns 0 when at least one benchmark ran, 1 otherwise.
 [[nodiscard]] int run_gbench_experiment(sfs::sim::ExperimentContext& ctx,
                                         const std::string& filter);

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Regenerates every committed BENCH_*.json baseline in one deterministic
+# command. Run from the repo root after a deliberate perf change, then
+# commit the refreshed files alongside the change that explains them.
+#
+#   scripts/capture_baselines.sh [build-dir]
+#
+# Baselines are captured in --quick mode so CI's bench-baseline step can
+# compare like against like on a small time budget; full-length numbers
+# belong in docs/PERF.md tables, not in these files. SFS_RNG_AUDIT=1 makes
+# every capture double as a stream-plan audit, and SFS_THREADS=4 pins the
+# pool width so pool_qps means the same thing across hosts with different
+# core counts.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+BENCH="${BUILD_DIR}/sfs_bench"
+
+if [[ ! -x "${BENCH}" ]]; then
+  echo "error: ${BENCH} not found or not executable." >&2
+  echo "Build it first: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+  exit 1
+fi
+
+export SFS_RNG_AUDIT=1
+export SFS_THREADS=4
+
+capture() {
+  local run="$1" out="$2"
+  echo "== capturing ${out} (sfs_bench --run ${run} --quick)"
+  "${BENCH}" --run "${run}" --quick --json "${out}" > /dev/null
+  if [[ ! -s "${out}" ]]; then
+    echo "error: ${out} is empty — the ${run} experiment emitted no BENCH_JSON." >&2
+    exit 1
+  fi
+  echo "   $(wc -l < "${out}") records"
+}
+
+capture m2 BENCH_m2.json
+capture m5_query_engine BENCH_m5.json
+
+echo "done. Review the diffs and commit the refreshed baselines:"
+echo "  git diff --stat BENCH_m2.json BENCH_m5.json"

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Baseline guard for the committed BENCH_*.json perf artifacts.
+
+Usage: scripts/check_baselines.py FRESH_M2.json FRESH_M5.json
+
+Checks, against the committed BENCH_m2.json / BENCH_m5.json at the repo
+root:
+
+  1. the fresh captures are non-empty JSONL with the expected schema keys
+     (an emitter regression that silently produces empty or misshapen
+     files is exactly what left BENCH_m2.json at 0 bytes once);
+  2. every committed record's case/policy still exists in the fresh
+     capture;
+  3. throughput has not regressed by more than the fence (fresh must be
+     at least committed/3). The wide 3x fence absorbs host-class noise
+     between the capture machine and CI runners while still catching
+     order-of-magnitude regressions (an accidentally quadratic hot path,
+     a debug-build artifact);
+  4. m5's bit_identical flag is still true in the fresh capture.
+
+Exit 0 when all checks pass, 1 with a per-failure report otherwise.
+"""
+
+import json
+import pathlib
+import sys
+
+FENCE = 3.0
+
+CHECKS = {
+    "m2": {
+        "committed": "BENCH_m2.json",
+        "key": "case",
+        "metric": "items_per_second",
+        "required": {
+            "bench", "case", "iterations", "real_time", "cpu_time",
+            "time_unit", "items_per_second",
+        },
+    },
+    "m5_query_engine": {
+        "committed": "BENCH_m5.json",
+        "key": "policy",
+        "metric": "seq_qps",
+        "required": {
+            "bench", "policy", "model", "n", "queries", "seq_qps",
+            "pool_qps", "speedup", "mean_requests", "found_frac",
+            "bit_identical", "stream_plan", "interleave",
+        },
+    },
+}
+
+
+def load_jsonl(path):
+    records = []
+    for line in pathlib.Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+def check(bench, fresh_path, errors):
+    spec = CHECKS[bench]
+    root = pathlib.Path(__file__).resolve().parent.parent
+    committed_path = root / spec["committed"]
+
+    fresh = load_jsonl(fresh_path)
+    committed = load_jsonl(committed_path)
+    if not fresh:
+        errors.append(f"{bench}: fresh capture {fresh_path} is empty")
+        return
+    if not committed:
+        errors.append(f"{bench}: committed baseline {committed_path} is empty")
+        return
+
+    for rec in fresh:
+        missing = spec["required"] - rec.keys()
+        if missing:
+            errors.append(
+                f"{bench}: fresh record {rec.get(spec['key'], '?')} is "
+                f"missing keys {sorted(missing)}")
+        if rec.get("bit_identical") is False:
+            errors.append(
+                f"{bench}: {rec.get(spec['key'], '?')} reports "
+                "bit_identical=false (seq/pool divergence)")
+
+    fresh_by_key = {rec[spec["key"]]: rec for rec in fresh
+                    if spec["key"] in rec}
+    for rec in committed:
+        key = rec[spec["key"]]
+        if key not in fresh_by_key:
+            errors.append(f"{bench}: committed case '{key}' missing from "
+                          "the fresh capture")
+            continue
+        old = rec[spec["metric"]]
+        new = fresh_by_key[key][spec["metric"]]
+        if new * FENCE < old:
+            errors.append(
+                f"{bench}: '{key}' {spec['metric']} regressed beyond the "
+                f"{FENCE}x fence: committed {old:.0f}, fresh {new:.0f}")
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    errors = []
+    check("m2", argv[1], errors)
+    check("m5_query_engine", argv[2], errors)
+    if errors:
+        print("baseline check FAILED:")
+        for e in errors:
+            print(f"  - {e}")
+        return 1
+    print("baseline check passed: schema OK, all cases present, "
+          f"throughput within the {FENCE}x fence.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,21 @@
+// Portable software-prefetch hint.
+//
+// The search inner loops stream through CSR spans whose per-slot work is a
+// handful of cycles, so the dependent random accesses (stamp arrays indexed
+// by edge/vertex id) dominate wall time once the graph outgrows L2.
+// Prefetching those lines a few slots ahead overlaps the misses with useful
+// work. A hint only — correctness never depends on it, and unknown
+// compilers get a no-op.
+#pragma once
+
+namespace sfs::base {
+
+inline void prefetch(const void* addr) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(addr);
+#else
+  (void)addr;
+#endif
+}
+
+}  // namespace sfs::base

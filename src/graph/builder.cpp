@@ -1,5 +1,6 @@
 #include "graph/builder.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace sfs::graph {
@@ -47,6 +48,54 @@ Graph GraphBuilder::build() {
   Graph g;
   build_into(g);
   return g;
+}
+
+void GraphBuilder::build_into(Graph& g, CsrLayout layout,
+                              std::vector<VertexId>* to_new) {
+  if (layout == CsrLayout::kDegreeSorted) {
+    const std::size_t n = num_vertices_;
+    // Undirected degree from the edge log (loops count twice, matching
+    // the incidence layout the sort is optimizing).
+    deg_scratch_.assign(n, 0);
+    for (const Edge& e : edges_) {
+      ++deg_scratch_[e.tail];
+      ++deg_scratch_[e.head];
+    }
+    // Rank vertices by (degree desc, old id asc) — fully deterministic.
+    perm_scratch_.resize(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      perm_scratch_[v] = static_cast<VertexId>(v);
+    }
+    std::sort(perm_scratch_.begin(), perm_scratch_.end(),
+              [&](VertexId a, VertexId b) {
+                if (deg_scratch_[a] != deg_scratch_[b]) {
+                  return deg_scratch_[a] > deg_scratch_[b];
+                }
+                return a < b;
+              });
+    // Invert rank order into old -> new, reusing cursor_scratch_ to avoid
+    // aliasing the caller's to_new vector.
+    cursor_scratch_.assign(n, 0);
+    for (std::size_t rank = 0; rank < n; ++rank) {
+      cursor_scratch_[perm_scratch_[rank]] = rank;
+    }
+    for (Edge& e : edges_) {
+      e.tail = static_cast<VertexId>(cursor_scratch_[e.tail]);
+      e.head = static_cast<VertexId>(cursor_scratch_[e.head]);
+    }
+    if (to_new != nullptr) {
+      to_new->resize(n);
+      for (std::size_t v = 0; v < n; ++v) {
+        (*to_new)[v] = static_cast<VertexId>(cursor_scratch_[v]);
+      }
+    }
+  } else if (to_new != nullptr) {
+    to_new->resize(num_vertices_);
+    for (std::size_t v = 0; v < num_vertices_; ++v) {
+      (*to_new)[v] = static_cast<VertexId>(v);
+    }
+  }
+  build_into(g);
 }
 
 void GraphBuilder::build_into(Graph& g) {

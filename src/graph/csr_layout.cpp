@@ -1,0 +1,37 @@
+#include "graph/csr_layout.hpp"
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+
+namespace sfs::graph {
+
+DegreeSortedRelabeling degree_sorted_relabel(const Graph& g) {
+  DegreeSortedRelabeling out;
+  GraphBuilder builder(g.num_vertices());
+  builder.reserve_edges(g.num_edges());
+  for (std::size_t ei = 0; ei < g.num_edges(); ++ei) {
+    const Edge& e = g.edge(static_cast<EdgeId>(ei));
+    builder.add_edge(e.tail, e.head);
+  }
+  builder.build_into(out.graph, CsrLayout::kDegreeSorted, &out.to_new);
+  out.to_old.resize(out.to_new.size());
+  for (std::size_t v = 0; v < out.to_new.size(); ++v) {
+    out.to_old[out.to_new[v]] = static_cast<VertexId>(v);
+  }
+  return out;
+}
+
+Graph relabel_vertices(const Graph& g, const std::vector<VertexId>& to_new) {
+  SFS_REQUIRE(to_new.size() == g.num_vertices(),
+              "relabel_vertices: permutation size must match vertex count");
+  GraphBuilder builder(g.num_vertices());
+  builder.reserve_edges(g.num_edges());
+  for (std::size_t ei = 0; ei < g.num_edges(); ++ei) {
+    const Edge& e = g.edge(static_cast<EdgeId>(ei));
+    builder.add_edge(to_new[e.tail], to_new[e.head]);
+  }
+  return builder.build();
+}
+
+}  // namespace sfs::graph

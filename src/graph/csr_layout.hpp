@@ -1,0 +1,42 @@
+// CSR layout transforms for existing graphs.
+//
+// The degree-sorted layout (graph/builder.hpp CsrLayout::kDegreeSorted)
+// concentrates the hub vertices — where power-law searches spend nearly
+// all their probes — at the low end of every per-vertex array, so the
+// offset, degree and liveness entries the inner loops touch fit a few hot
+// cache lines. These helpers apply that layout to an already-built Graph
+// and carry the permutation needed to translate caller-facing vertex ids
+// (search::QueryEngine uses them to serve queries in original ids over a
+// relabeled CSR).
+//
+// Relabeling changes which vertex a given id names, so any consumer that
+// mixes relabeled structures with original-id state must translate at the
+// boundary; search *traces* over a relabeled graph are therefore not
+// bit-comparable with traces over the original layout (the RNG draws see
+// different slot orders). Determinism is unaffected: the permutation is a
+// pure function of the degree sequence (degree desc, old id asc).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sfs::graph {
+
+/// A relabeled graph plus both directions of the vertex-id mapping.
+struct DegreeSortedRelabeling {
+  Graph graph;                     // degree-sorted CSR
+  std::vector<VertexId> to_new;    // original id -> relabeled id
+  std::vector<VertexId> to_old;    // relabeled id -> original id
+};
+
+/// Relabels `g` into the degree-sorted layout. Edge ids keep their
+/// insertion order; endpoints are mapped through to_new. O(n log n + m).
+[[nodiscard]] DegreeSortedRelabeling degree_sorted_relabel(const Graph& g);
+
+/// Applies an arbitrary vertex relabeling (to_new[old] = new id, a
+/// permutation of [0, n)) to `g`. Building block for layout round-trips.
+[[nodiscard]] Graph relabel_vertices(const Graph& g,
+                                     const std::vector<VertexId>& to_new);
+
+}  // namespace sfs::graph

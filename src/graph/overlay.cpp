@@ -6,10 +6,28 @@
 
 namespace sfs::graph {
 
-Overlay::Overlay(Graph base) : graph_(std::move(base)) {
+Overlay::Overlay(Graph base, OverlaySampler sampler)
+    : graph_(std::move(base)), sampler_kind_(sampler) {
   alive_.assign(graph_.num_vertices(), 1u);
   edge_alive_.assign(graph_.num_edges(), 1u);
   num_alive_ = graph_.num_vertices();
+  if (sampler_kind_ == OverlaySampler::kBucketed) {
+    // Everything starts alive, so live_degree(v) is just the incidence
+    // size (self-loops occupy two slots, matching live_degree's count).
+    live_mass_.resize(graph_.num_vertices());
+    for (std::size_t vi = 0; vi < graph_.num_vertices(); ++vi) {
+      const auto v = static_cast<VertexId>(vi);
+      live_mass_.set_weight(vi, graph_.incident(v).size() + 1);
+    }
+  }
+}
+
+std::uint64_t Overlay::join_mass(VertexId v) {
+  SFS_REQUIRE(v < alive_.size(), "Overlay::join_mass: vertex id out of range");
+  if (sampler_kind_ == OverlaySampler::kBucketed) return live_mass_.weight(v);
+  if (bag_dirty_) rebuild_bag();
+  const auto& bag = scratch_.pref_bag;
+  return static_cast<std::uint64_t>(std::count(bag.begin(), bag.end(), v));
 }
 
 std::size_t Overlay::live_degree(VertexId v) const {
@@ -64,29 +82,71 @@ VertexId Overlay::join(std::size_t attach, rng::Rng& rng) {
               "Overlay::join: cannot join an overlay with no live peers");
   SFS_REQUIRE(alive_.size() < static_cast<std::size_t>(kNoVertex),
               "Overlay::join: vertex id space exhausted");
-  if (bag_dirty_) rebuild_bag();
 
   const auto v = static_cast<VertexId>(alive_.size());
-  auto& bag = scratch_.pref_bag;
-  SFS_CHECK(!bag.empty(), "live bag empty despite live peers");
-  // Draw the targets first, then append the new vertex's own mass: a peer
+  // Draw the targets first, then add the new vertex's own mass: a peer
   // cannot attach to itself on arrival.
   scratch_.targets.clear();
-  for (std::size_t i = 0; i < attach; ++i) {
-    scratch_.targets.push_back(
-        bag[static_cast<std::size_t>(rng.uniform_index(bag.size()))]);
-  }
-  alive_.push_back(1u);
-  ++num_alive_;
-  ++staged_vertices_;
-  bag.push_back(v);  // baseline entry of the newcomer
-  for (const VertexId t : scratch_.targets) {
-    staged_edges_.push_back(Edge{v, t});
-    bag.push_back(v);
-    bag.push_back(t);
+  if (sampler_kind_ == OverlaySampler::kBucketed) {
+    SFS_CHECK(live_mass_.total_weight() > 0,
+              "live mass empty despite live peers");
+    for (std::size_t i = 0; i < attach; ++i) {
+      scratch_.targets.push_back(
+          static_cast<VertexId>(live_mass_.sample(rng)));
+    }
+    alive_.push_back(1u);
+    ++num_alive_;
+    ++staged_vertices_;
+    // Newcomer: the +1 baseline plus one unit per staged edge (every
+    // target is live by construction); each target gains one unit.
+    const std::size_t id = live_mass_.push_back(attach + 1);
+    SFS_CHECK(id == v, "live mass ids out of sync with vertex ids");
+    for (const VertexId t : scratch_.targets) {
+      staged_edges_.push_back(Edge{v, t});
+      live_mass_.add(t, 1);
+    }
+  } else {
+    if (bag_dirty_) rebuild_bag();
+    auto& bag = scratch_.pref_bag;
+    SFS_CHECK(!bag.empty(), "live bag empty despite live peers");
+    for (std::size_t i = 0; i < attach; ++i) {
+      scratch_.targets.push_back(
+          bag[static_cast<std::size_t>(rng.uniform_index(bag.size()))]);
+    }
+    alive_.push_back(1u);
+    ++num_alive_;
+    ++staged_vertices_;
+    bag.push_back(v);  // baseline entry of the newcomer
+    for (const VertexId t : scratch_.targets) {
+      staged_edges_.push_back(Edge{v, t});
+      bag.push_back(v);
+      bag.push_back(t);
+    }
   }
   ++epoch_;
   return v;
+}
+
+void Overlay::retire_live_mass(VertexId v) {
+  // Mass granted to neighbors through `v`: one unit per live incidence
+  // pair, committed or staged. Self-loop slots grant mass to `v` itself,
+  // which the final set_weight(v, 0) retires wholesale.
+  if (v < graph_.num_vertices()) {
+    const auto inc = graph_.incident(v);
+    const auto adj = graph_.adjacent(v);
+    for (std::size_t i = 0; i < inc.size(); ++i) {
+      const VertexId w = adj[i];
+      if (edge_alive_[inc[i]] != 0 && alive_[w] != 0 && w != v) {
+        live_mass_.add(w, -1);
+      }
+    }
+  }
+  for (const Edge& e : staged_edges_) {
+    if (alive_[e.tail] == 0 || alive_[e.head] == 0) continue;
+    if (e.tail == v && e.head != v) live_mass_.add(e.head, -1);
+    if (e.head == v && e.tail != v) live_mass_.add(e.tail, -1);
+  }
+  live_mass_.set_weight(v, 0);
 }
 
 void Overlay::depart(VertexId v) {
@@ -103,6 +163,7 @@ void Overlay::depart(VertexId v) {
       if (edge_alive_[inc[i]] != 0 && alive_[adj[i]] != 0) ++snapshot_live;
     }
   }
+  if (sampler_kind_ == OverlaySampler::kBucketed) retire_live_mass(v);
   alive_[v] = 0;
   --num_alive_;
   compaction_debt_ += snapshot_live;
@@ -115,6 +176,15 @@ void Overlay::fail_edge(EdgeId e) {
               "Overlay::fail_edge: edge id out of range");
   SFS_REQUIRE(edge_alive_[e] != 0, "Overlay::fail_edge: edge already failed");
   edge_alive_[e] = 0;
+  if (sampler_kind_ == OverlaySampler::kBucketed) {
+    // The edge contributed live mass only while both endpoints were alive
+    // (a self-loop grants its vertex two units via its two slots).
+    const Edge& ed = graph_.edge(e);
+    if (alive_[ed.tail] != 0 && alive_[ed.head] != 0) {
+      live_mass_.add(ed.tail, -1);
+      live_mass_.add(ed.head, -1);
+    }
+  }
   ++compaction_debt_;
   bag_dirty_ = true;
   ++epoch_;
@@ -141,6 +211,9 @@ void Overlay::compact() {
   staged_vertices_ = 0;
   edge_alive_.assign(graph_.num_edges(), 1u);
   compaction_debt_ = 0;
+  // Compaction preserves every live degree (it commits exactly the live
+  // topology), so the kBucketed live mass is already correct; only the
+  // kBag bag keys off edge ids and needs a rebuild.
   bag_dirty_ = true;
   ++compactions_;
   ++epoch_;

@@ -8,12 +8,16 @@
 //
 //  * Vertex JOIN — a new peer attaches to `m` existing peers chosen by
 //    preferential attachment over the *live* degree mass (weight
-//    live_degree(v) + 1, so an isolated survivor can be re-attached), the
-//    same bag mechanism the evolving-graph generators use; the bag lives
-//    in an internal gen::GenScratch and is maintained incrementally across
-//    joins, exactly like barabasi_albert's in-loop bag growth. Joined
-//    vertices and their edges are STAGED: they receive final ids
-//    immediately but enter the CSR snapshot only at the next compaction.
+//    live_degree(v) + 1, so an isolated survivor can be re-attached).
+//    Two interchangeable sampling backends realize that distribution (see
+//    OverlaySampler below): the default rng::BucketedSampler maintains the
+//    live mass incrementally through every mutation — O(1) per join
+//    target, departure slot and edge failure — while the legacy bag mode
+//    reproduces the PR 6 repeat-array draws (id-ordered bag in an internal
+//    gen::GenScratch, lazily rebuilt in O(n + m) after any departure or
+//    edge failure). Joined vertices and their edges are STAGED: they
+//    receive final ids immediately but enter the CSR snapshot only at the
+//    next compaction.
 //
 //  * Vertex DEPARTURE — a tombstone: the peer's alive bit flips off in
 //    O(1); its edges stay in the CSR until compaction and are skipped by
@@ -55,15 +59,30 @@
 
 #include "gen/scratch.hpp"
 #include "graph/graph.hpp"
+#include "rng/discrete.hpp"
 #include "rng/random.hpp"
 
 namespace sfs::graph {
+
+/// Backend realizing the join target distribution (live_degree + 1).
+enum class OverlaySampler : std::uint8_t {
+  /// rng::BucketedSampler over the live mass, maintained incrementally:
+  /// O(1) expected per join draw and O(1) per weight update — no rebuild
+  /// after departures/edge failures. Same distribution as kBag, different
+  /// (documented) draw stream. The default.
+  kBucketed,
+  /// The PR 6 repeat-array bag: id-ordered, O(total live mass) lazy
+  /// rebuild after any departure or edge failure. Frozen — use when a
+  /// churn trace must replay historical join draws bit for bit.
+  kBag,
+};
 
 class Overlay {
  public:
   /// Takes ownership of `base` as the epoch-1 snapshot; every vertex and
   /// edge starts alive.
-  explicit Overlay(Graph base);
+  explicit Overlay(Graph base,
+                   OverlaySampler sampler = OverlaySampler::kBucketed);
 
   // ------------------------------------------------------------------ views
 
@@ -90,6 +109,14 @@ class Overlay {
   [[nodiscard]] std::size_t compactions() const noexcept {
     return compactions_;
   }
+  [[nodiscard]] OverlaySampler sampler() const noexcept {
+    return sampler_kind_;
+  }
+
+  /// Mass the join sampler currently assigns to `v`
+  /// (live_degree(v) + 1 for live vertices, 0 for departed ones). O(1)
+  /// for kBucketed; O(live mass) for kBag (test/diagnostic use).
+  [[nodiscard]] std::uint64_t join_mass(VertexId v);
 
   [[nodiscard]] bool alive(VertexId v) const {
     SFS_REQUIRE(v < alive_.size(), "Overlay::alive: vertex id out of range");
@@ -151,6 +178,9 @@ class Overlay {
 
  private:
   void rebuild_bag();
+  /// Subtracts the live-incidence mass `v` grants its neighbors, then
+  /// zeroes `v`'s own weight (kBucketed departure bookkeeping).
+  void retire_live_mass(VertexId v);
 
   Graph graph_;  // committed snapshot (staged joins not yet included)
   /// Staged join edges: tail = the joining vertex, head = its target.
@@ -168,12 +198,19 @@ class Overlay {
   std::uint64_t epoch_ = 1;
   std::size_t compactions_ = 0;
 
-  /// Builder + CSR recycling and the preferential-attachment bag
-  /// (scratch_.pref_bag). The bag holds live_degree(v) + 1 entries per
+  /// Builder + CSR recycling and (kBag mode) the preferential-attachment
+  /// bag (scratch_.pref_bag). The bag holds live_degree(v) + 1 entries per
   /// live vertex; joins append to it incrementally, departures and edge
   /// failures mark it dirty for a lazy rebuild.
   gen::GenScratch scratch_;
   bool bag_dirty_ = true;
+
+  /// kBucketed mode: the live mass as explicit per-vertex weights,
+  /// maintained incrementally through every mutation (compaction preserves
+  /// live degrees, so it needs no work there). Invariant:
+  /// live_mass_.weight(v) == alive(v) ? live_degree(v) + 1 : 0.
+  OverlaySampler sampler_kind_;
+  rng::BucketedSampler live_mass_;
 };
 
 }  // namespace sfs::graph

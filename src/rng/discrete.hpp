@@ -14,8 +14,15 @@
 //  * RepeatArray     — the classic preferential-attachment structure: a bag
 //                      of vertex ids where each id appears once per unit of
 //                      (integer) weight; O(1) append and O(1) uniform pick.
+//  * BucketedSampler — dynamic integer weights with O(1) update and O(1)
+//                      expected sample via power-of-two weight classes;
+//                      replaces the O(total-weight) memory of RepeatArray
+//                      and the O(log n) updates of FenwickSampler where
+//                      weights both grow and shrink (the Overlay join
+//                      path under churn).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -117,6 +124,68 @@ class RepeatArray {
 
  private:
   std::vector<std::uint32_t> items_;
+};
+
+/// Dynamic integer-weight sampler with O(1) updates and O(1) expected
+/// sampling, organized as power-of-two weight classes ("buckets").
+///
+/// Ids live in the bucket for their weight's bit width: bucket k holds the
+/// ids with weight in [2^k, 2^(k+1)). Sampling draws a point uniformly in
+/// [0, total_weight), walks the (at most 64, in practice ~log(max degree))
+/// non-empty buckets to find the one the point lands in, then
+/// rejection-samples inside the bucket: pick a uniform slot, accept id with
+/// probability weight(id) / 2^(k+1) (>= 1/2 by the class invariant, so the
+/// expected number of rounds is < 2). The result is exactly
+/// weight(i) / total_weight per id — the same distribution as RepeatArray
+/// over the same integer weights — without RepeatArray's O(total weight)
+/// memory or its append-only restriction.
+///
+/// Deterministic: the same construction/update sequence plus the same Rng
+/// stream reproduces the same samples on every platform. Updates move at
+/// most one id between buckets via swap-remove, so they are O(1)
+/// unconditionally.
+class BucketedSampler {
+ public:
+  BucketedSampler() = default;
+  /// Creates `n` outcomes, all with weight 0.
+  explicit BucketedSampler(std::size_t n) { resize(n); }
+
+  /// Number of outcomes (including zero-weight ones).
+  [[nodiscard]] std::size_t size() const noexcept { return weight_.size(); }
+  [[nodiscard]] std::uint64_t total_weight() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t weight(std::size_t id) const;
+
+  /// Drops all outcomes and weights.
+  void clear() noexcept;
+  /// Grows to `n` outcomes (new ids get weight 0). Shrinking is not
+  /// supported; set weights to 0 instead.
+  void resize(std::size_t n);
+  /// Appends a new outcome with the given weight; returns its id.
+  std::size_t push_back(std::uint64_t w);
+
+  void set_weight(std::size_t id, std::uint64_t w);
+  /// Adds delta (may be negative; resulting weight must stay >= 0).
+  void add(std::size_t id, std::int64_t delta);
+
+  /// Samples id with probability weight(id) / total_weight(). Requires a
+  /// strictly positive total weight.
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+ private:
+  static constexpr std::uint32_t kNoBucket = 64;
+  [[nodiscard]] static std::uint32_t bucket_of(std::uint64_t w) noexcept;
+  void place(std::size_t id, std::uint64_t w);
+  void remove(std::size_t id);
+
+  struct Bucket {
+    std::vector<std::uint32_t> ids;
+    std::uint64_t total = 0;  // sum of member weights
+  };
+
+  std::array<Bucket, 64> buckets_;
+  std::vector<std::uint64_t> weight_;
+  std::vector<std::uint32_t> pos_;  // index of id within its bucket's ids
+  std::uint64_t total_ = 0;
 };
 
 }  // namespace sfs::rng

@@ -1,0 +1,78 @@
+// Versioned derivation of per-index RNG streams.
+//
+// A "stream plan" maps (experiment seed, stream tag, index) to the seed of
+// an independent RNG stream. Two plans exist:
+//
+//  * kLegacy (v1) — the historical derive_stream_seed mix chain
+//    (random.hpp). Every result produced before the plan versioning
+//    existed — the e1/e2 pinned-seed goldens, checkpoint meta rows, the
+//    test_sweep_compat goldens — is a v1 artifact, so v1 is frozen: any
+//    harness replaying those outputs must keep requesting kLegacy.
+//  * kCounter (v2) — counter-based derivation through Philox4x64
+//    (philox.hpp): the index-th stream seed is word 0 of the Philox block
+//    at counter `index` under key (seed, tag). Seeking to any index is
+//    O(1) and the per-(seed, tag) plan is a single keyed object instead of
+//    a per-use mix chain, which is what lets batch engines hand out
+//    millions of per-query streams without per-query derivation state.
+//    New experiments default to v2.
+//
+// Both versions route through the SFS_RNG_AUDIT machinery
+// (stream_audit.hpp): every derivation records its
+// (seed, tag, index) -> derived mapping, so a run under SFS_RNG_AUDIT=1
+// verifies the whole plan for cross-stream collisions regardless of
+// version. Harnesses that stamp results (BENCH_JSON) should emit
+// stream_plan_number(version) so the plan in effect is explicit in the
+// artifact.
+#pragma once
+
+#include <cstdint>
+
+#include "rng/philox.hpp"
+
+namespace sfs::rng {
+
+enum class StreamPlanVersion : std::uint32_t {
+  kLegacy = 1,   // derive_stream_seed mix chain (pre-versioning artifacts)
+  kCounter = 2,  // Philox counter-offset derivation (default for new work)
+};
+
+/// The integer stamped into BENCH_JSON ("stream_plan" key).
+[[nodiscard]] constexpr std::uint32_t stream_plan_number(
+    StreamPlanVersion v) noexcept {
+  return static_cast<std::uint32_t>(v);
+}
+
+/// One (experiment seed, stream tag) family of per-index streams under a
+/// fixed plan version. Cheap to construct (no allocation); copyable.
+class StreamPlan {
+ public:
+  StreamPlan(std::uint64_t experiment_seed, std::uint64_t stream_tag,
+             StreamPlanVersion version) noexcept
+      : seed_(experiment_seed), stream_(stream_tag), version_(version) {}
+
+  [[nodiscard]] std::uint64_t experiment_seed() const noexcept {
+    return seed_;
+  }
+  [[nodiscard]] std::uint64_t stream_tag() const noexcept { return stream_; }
+  [[nodiscard]] StreamPlanVersion version() const noexcept { return version_; }
+
+  /// Seed of stream `index` (the rep index for replication harnesses, the
+  /// batch index for query engines). Audited: records
+  /// (seed, tag, index) -> derived when SFS_RNG_AUDIT is on. O(1) for both
+  /// versions; for kCounter this is a single Philox block, seekable to any
+  /// index without deriving its predecessors.
+  [[nodiscard]] std::uint64_t stream_seed(std::uint64_t index) const;
+
+  /// The keyed counter engine backing kCounter derivations, positioned at
+  /// draw 0. Callers that want raw counter-offset draws (rather than a
+  /// derived seed for a sequential engine) seek it directly. Requires
+  /// version() == kCounter.
+  [[nodiscard]] Philox4x64 counter_engine() const;
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t stream_;
+  StreamPlanVersion version_;
+};
+
+}  // namespace sfs::rng

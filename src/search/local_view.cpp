@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "base/prefetch.hpp"
+
 namespace sfs::search {
 
 using graph::EdgeId;
@@ -84,19 +86,9 @@ LocalView::LocalView(const graph::Graph& g, KnowledgeModel model,
   make_known(start, kNoVertex);
 }
 
-bool LocalView::is_known(VertexId v) const {
-  SFS_REQUIRE(v < graph_->num_vertices(), "vertex out of range");
-  return known(v);
-}
-
 std::size_t LocalView::degree(VertexId v) const {
   SFS_REQUIRE(is_known(v), "degree of an unknown vertex");
   return graph_->degree(v);
-}
-
-std::span<const EdgeId> LocalView::incident(VertexId v) const {
-  SFS_REQUIRE(is_known(v), "incident edges of an unknown vertex");
-  return graph_->incident(v);
 }
 
 bool LocalView::edge_explored(EdgeId e) const {
@@ -110,15 +102,6 @@ std::optional<VertexId> LocalView::far_endpoint(EdgeId e, VertexId u) const {
   SFS_REQUIRE(ed.tail == u || ed.head == u, "edge not incident to u");
   if (!explored(e)) return std::nullopt;
   return graph_->other_endpoint(e, u);
-}
-
-std::optional<EdgeId> LocalView::first_unexplored(VertexId v) const {
-  SFS_REQUIRE(is_known(v), "first_unexplored of an unknown vertex");
-  const auto inc = graph_->incident(v);
-  auto& cur = ws_->unexplored_cursor_[v];
-  while (cur < inc.size() && explored(inc[cur])) ++cur;
-  if (cur >= inc.size()) return std::nullopt;
-  return inc[cur];
 }
 
 VertexId LocalView::request_edge(VertexId u, EdgeId e) {
@@ -135,6 +118,32 @@ VertexId LocalView::request_edge(VertexId u, EdgeId e) {
     // nothing. Mark the edge explored so first_unexplored() skips the
     // known-dead link from now on. (The liveness check runs before the
     // cache check so a repeated probe of a dead edge stays a failure.)
+    ++failed_requests_;
+    ws_->explored_stamp_[e] = ws_->epoch_;
+    return kNoVertex;
+  }
+  if (!explored(e)) {
+    ++requests_;
+    ws_->explored_stamp_[e] = ws_->epoch_;
+    if (!known(v)) make_known(v, u);
+  }
+  return v;
+}
+
+VertexId LocalView::request_incident(VertexId u, std::uint32_t slot,
+                                     EdgeId e) {
+  SFS_REQUIRE(model_ == KnowledgeModel::kWeak,
+              "request_incident is a weak-model request");
+  SFS_REQUIRE(is_known(u), "requests must start from a discovered vertex");
+  const auto inc = graph_->incident(u);
+  SFS_REQUIRE(slot < inc.size() && inc[slot] == e,
+              "slot hint does not name edge e at u");
+
+  ++raw_requests_;
+  // The far endpoint sits in the adjacency slot parallel to the incidence
+  // slot (self-loop slots store u itself, matching other_endpoint).
+  const VertexId v = graph_->adjacent(u)[slot];
+  if (!liveness_.edge_ok(e) || !liveness_.vertex_ok(v)) {
     ++failed_requests_;
     ws_->explored_stamp_[e] = ws_->epoch_;
     return kNoVertex;
@@ -168,14 +177,32 @@ std::span<const VertexId> LocalView::request_vertex_span(VertexId u) {
     ws_->requested_stamp_[u] = ws_->epoch_;
     const auto inc = graph_->incident(u);
     const auto adj = graph_->adjacent(u);
-    for (std::size_t i = 0; i < inc.size(); ++i) {
-      // A dead link hides its endpoint entirely; a live link to a
-      // departed peer still discloses the stale identity (the probe that
-      // follows is what fails).
-      if (!liveness_.edge_ok(inc[i])) continue;
-      ws_->explored_stamp_[inc[i]] = ws_->epoch_;
-      const VertexId v = adj[i];
-      if (!known(v)) make_known(v, u);
+    if (liveness_.edge_alive.empty()) {
+      // Static fast path: no per-slot mask checks, and the stamp lines —
+      // random accesses by edge/vertex id, the loop's only misses — are
+      // prefetched a few slots ahead of use. Same stores, same
+      // make_known order: bit-identical to the masked loop below with an
+      // all-alive mask.
+      constexpr std::size_t kAhead = 8;
+      for (std::size_t i = 0; i < inc.size(); ++i) {
+        if (i + kAhead < inc.size()) {
+          base::prefetch(&ws_->explored_stamp_[inc[i + kAhead]]);
+          base::prefetch(&ws_->known_stamp_[adj[i + kAhead]]);
+        }
+        ws_->explored_stamp_[inc[i]] = ws_->epoch_;
+        const VertexId v = adj[i];
+        if (!known(v)) make_known(v, u);
+      }
+    } else {
+      for (std::size_t i = 0; i < inc.size(); ++i) {
+        // A dead link hides its endpoint entirely; a live link to a
+        // departed peer still discloses the stale identity (the probe
+        // that follows is what fails).
+        if (!liveness_.edge_ok(inc[i])) continue;
+        ws_->explored_stamp_[inc[i]] = ws_->epoch_;
+        const VertexId v = adj[i];
+        if (!known(v)) make_known(v, u);
+      }
     }
   }
   return graph_->adjacent(u);

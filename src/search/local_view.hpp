@@ -42,6 +42,8 @@
 #include <span>
 #include <vector>
 
+#include "base/check.hpp"
+#include "base/prefetch.hpp"
 #include "graph/graph.hpp"
 
 namespace sfs::search {
@@ -53,10 +55,24 @@ enum class KnowledgeModel {
 
 /// A weak-model request: reveal the far endpoint of edge `e` from vertex
 /// `u`.
+///
+/// `slot` is an optional performance hint: the incidence-span index of `e`
+/// at `u` (incident(u)[slot] == e). Policies that picked the edge by
+/// indexing the span (walks, cursor scans) already hold the index; passing
+/// it lets the view resolve the far endpoint from the adjacency span it is
+/// streaming anyway instead of a random load into the edge array. Purely
+/// an optimization: accounting and results are bit-identical with or
+/// without the hint, and equality ignores it.
 struct WeakRequest {
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
   graph::VertexId u = graph::kNoVertex;
   graph::EdgeId e = graph::kNoEdge;
-  friend bool operator==(const WeakRequest&, const WeakRequest&) = default;
+  std::uint32_t slot = kNoSlot;
+
+  friend bool operator==(const WeakRequest& a, const WeakRequest& b) {
+    return a.u == b.u && a.e == b.e;  // slot is a hint, not identity
+  }
 };
 
 /// Liveness masks overlaying the searched snapshot (one byte per vertex /
@@ -190,6 +206,11 @@ class LocalView {
   [[nodiscard]] std::optional<graph::EdgeId> first_unexplored(
       graph::VertexId v) const;
 
+  /// Incidence-span index of first_unexplored(v), if any — the natural
+  /// `slot` hint for a WeakRequest built from the cursor scan.
+  [[nodiscard]] std::optional<std::uint32_t> first_unexplored_slot(
+      graph::VertexId v) const;
+
   /// True if `v` (known) has at least one unexplored incident edge.
   [[nodiscard]] bool has_unexplored(graph::VertexId v) const {
     return first_unexplored(v).has_value();
@@ -210,8 +231,16 @@ class LocalView {
   /// vertices are thus never known in the weak model.
   graph::VertexId request_edge(graph::VertexId u, graph::EdgeId e);
   graph::VertexId request_edge(const WeakRequest& r) {
-    return request_edge(r.u, r.e);
+    return r.slot == WeakRequest::kNoSlot ? request_edge(r.u, r.e)
+                                          : request_incident(r.u, r.slot, r.e);
   }
+
+  /// request_edge through a slot hint: `slot` indexes `u`'s incidence span
+  /// and must name `e` (incident(u)[slot] == e). Identical semantics and
+  /// accounting to request_edge(u, e); the far endpoint comes from the
+  /// adjacency span instead of the edge array.
+  graph::VertexId request_incident(graph::VertexId u, std::uint32_t slot,
+                                   graph::EdgeId e);
 
   /// Strong-model request: requires model() == kStrong and `u` known (the
   /// start vertex is known from the outset). All neighbors of `u` become
@@ -293,5 +322,47 @@ class LocalView {
   std::size_t raw_requests_ = 0;
   std::size_t failed_requests_ = 0;
 };
+
+// ---------------------------------------------------------------------
+// Inline hot-path accessors. These sit on the per-probe path of every
+// weak-model policy (one slot scan + one incidence read per decision);
+// keeping them header-inline lets the drive loop fold them into the
+// probe instead of paying an out-of-line call each.
+// ---------------------------------------------------------------------
+
+inline bool LocalView::is_known(graph::VertexId v) const {
+  SFS_REQUIRE(v < graph_->num_vertices(), "vertex out of range");
+  return known(v);
+}
+
+inline std::span<const graph::EdgeId> LocalView::incident(
+    graph::VertexId v) const {
+  SFS_REQUIRE(is_known(v), "incident edges of an unknown vertex");
+  return graph_->incident(v);
+}
+
+inline std::optional<std::uint32_t> LocalView::first_unexplored_slot(
+    graph::VertexId v) const {
+  SFS_REQUIRE(is_known(v), "first_unexplored of an unknown vertex");
+  const auto inc = graph_->incident(v);
+  auto& cur = ws_->unexplored_cursor_[v];
+  while (cur < inc.size() && explored(inc[cur])) {
+    ++cur;
+    if (cur + 2 < inc.size()) {
+      // The stamp reads above are the scan's only random accesses;
+      // overlap the next ones with this iteration's work.
+      base::prefetch(&ws_->explored_stamp_[inc[cur + 2]]);
+    }
+  }
+  if (cur >= inc.size()) return std::nullopt;
+  return cur;
+}
+
+inline std::optional<graph::EdgeId> LocalView::first_unexplored(
+    graph::VertexId v) const {
+  const auto s = first_unexplored_slot(v);
+  if (!s) return std::nullopt;
+  return graph_->incident(v)[*s];
+}
 
 }  // namespace sfs::search

@@ -14,9 +14,13 @@
 // runs query batches with deterministic per-query RNG streams:
 //
 //   query i of a batch draws its randomness from
-//   derive_stream_seed(options.seed, kQueryStream, i)
+//   StreamPlan(options.seed, kQueryStream, options.stream_plan).stream_seed(i)
 //
-// so a batch is a pure function of (graph, policy, options.seed, queries) —
+// (rng/stream_plan.hpp; the default plan is kCounter/v2 — O(1) seekable
+// Philox derivation. options.stream_plan = kLegacy reproduces the
+// pre-versioning derive_stream_seed streams bit for bit.) So a batch is a
+// pure function of (graph, policy, options.seed, options.stream_plan,
+// queries) —
 // bit-identical for any thread count, including sequential, and replayable
 // (re-running the same batch reproduces it — the property the seq-vs-pool
 // audits in m5_query_engine and tests/test_query_engine rely on).
@@ -52,6 +56,7 @@
 #include <string_view>
 #include <vector>
 
+#include "rng/stream_plan.hpp"
 #include "search/policy.hpp"
 #include "search/runner.hpp"
 
@@ -78,6 +83,23 @@ struct QueryEngineOptions {
   /// Failure tolerance per query; only consulted by overlay-bound engines
   /// (static-graph queries cannot fail probes).
   RetryBudget retry;
+  /// Searches interleaved per worker: each worker advances up to this many
+  /// suspended searches round-robin, one drive step at a time, so the next
+  /// dependent cache miss of one walk overlaps the others' work. Results
+  /// are bit-identical for every width (per-query streams are positional);
+  /// 1 = the classic run-to-completion loop. Must be positive.
+  ///
+  /// Default 1: widths > 1 multiply the per-worker view working set by the
+  /// width and pay round-robin bookkeeping per probe, which measured as a
+  /// net loss (0.7-0.9x) on the single-core capture host at every graph
+  /// size tried — see "Interleaved batch search" in docs/PERF.md. Raise it
+  /// only where a measurement on the deployment host shows the miss
+  /// overlap winning (deep out-of-order cores, DRAM-resident graphs).
+  std::size_t interleave = 1;
+  /// Stream-plan version of the per-query streams (rng/stream_plan.hpp).
+  /// kCounter (v2) is the default for new work; kLegacy reproduces the
+  /// pre-versioning stream derivation bit for bit.
+  rng::StreamPlanVersion stream_plan = rng::StreamPlanVersion::kCounter;
 };
 
 class QueryEngine {
@@ -128,9 +150,11 @@ class QueryEngine {
   /// Runs every query; results[i] answers queries[i]. `threads` selects
   /// the fan-out: 1 (default) = sequential, 0 = the shared pool, n = a
   /// pool of n workers — bit-identical in all cases (per-query streams
-  /// depend only on the batch index). Validates every query's endpoints
-  /// against the graph before running anything. `results` must be exactly
-  /// queries.size() long.
+  /// depend only on the batch index). Workers execute blocks of
+  /// options.interleave queries as round-robin-stepped suspended searches
+  /// (search/drive.hpp); the width changes execution order only, never
+  /// results. Validates every query's endpoints against the graph before
+  /// running anything. `results` must be exactly queries.size() long.
   void run_batch(std::span<const Query> queries,
                  std::span<SearchResult> results, std::size_t threads = 1);
 
@@ -139,17 +163,20 @@ class QueryEngine {
       std::span<const Query> queries, std::size_t threads = 1);
 
  private:
+  struct Lane;
   struct Session;
   void ensure_sessions(std::size_t workers);
   void bind_policy(std::string_view policy);
+  [[nodiscard]] std::uint64_t query_stream_seed(std::uint64_t index) const;
 
   const graph::Graph* graph_;
   const graph::Overlay* overlay_ = nullptr;  // null for static engines
   const PolicySpec* spec_;
   QueryEngineOptions options_;
-  /// One session (searcher instance + WorkerContext) per worker index,
-  /// grown on demand and reused across batches: steady-state batches
-  /// allocate nothing in the engine itself.
+  /// One session per worker index, holding options.interleave lanes (each
+  /// a searcher instance + WorkerContext + drive slot), grown on demand
+  /// and reused across batches: steady-state batches allocate nothing in
+  /// the engine itself.
   std::vector<std::unique_ptr<Session>> sessions_;
   std::size_t queries_served_ = 0;
   std::size_t sessions_rebuilt_ = 0;

@@ -1,95 +1,33 @@
 #include "search/runner.hpp"
 
+#include "search/drive.hpp"
+
 namespace sfs::search {
 
 namespace {
-
-SearchResult finish(const LocalView& view, bool budget_hit, bool gave_up,
-                    std::size_t restarts = 0, bool abandoned = false) {
-  SearchResult r;
-  r.found = view.target_found();
-  r.requests = view.requests();
-  r.raw_requests = view.raw_requests();
-  r.failed_requests = view.failed_requests();
-  r.budget_exhausted = budget_hit;
-  r.gave_up = gave_up;
-  r.restarts = restarts;
-  r.abandoned = abandoned;
-  if (r.found) {
-    const auto path = view.discovery_path();
-    r.path_length = path.empty() ? 0 : path.size() - 1;
-  }
-  return r;
-}
 
 // One loop serves both the static and the tolerant runs. The failure
 // branch keys off view.failed_requests(), which never moves without a
 // liveness mask, so a static run takes the exact pre-churn path (same
 // calls, same RNG draws) — bit-identity by construction, not by testing.
+// The loop body lives in search/drive.hpp's step machines (so QueryEngine
+// can interleave suspended searches); driving one to completion here IS
+// the closed loop.
 SearchResult drive_weak(LocalView& view, WeakSearcher& searcher, rng::Rng& rng,
                         const RunBudget& budget, const RetryBudget& retry) {
-  searcher.start(view, rng);
-  std::size_t consecutive_failures = 0;
-  std::size_t restarts = 0;
-  while (!view.target_found()) {
-    if (view.requests() >= budget.max_requests ||
-        view.raw_requests() >= budget.max_raw_requests) {
-      return finish(view, /*budget_hit=*/true, /*gave_up=*/false, restarts);
-    }
-    const auto req = searcher.next(view, rng);
-    if (!req) return finish(view, false, /*gave_up=*/true, restarts);
-    const std::size_t failures_before = view.failed_requests();
-    const graph::VertexId revealed = view.request_edge(*req);
-    if (view.failed_requests() != failures_before) {
-      // Stranded probe: the policy never observes it (the view already
-      // marked the link dead). Too many in a row -> restart the policy on
-      // the retained knowledge; out of restarts -> abandon.
-      if (++consecutive_failures > retry.max_consecutive_failures) {
-        if (restarts >= retry.max_restarts) {
-          return finish(view, false, false, restarts, /*abandoned=*/true);
-        }
-        ++restarts;
-        consecutive_failures = 0;
-        searcher.start(view, rng);
-      }
-      continue;
-    }
-    consecutive_failures = 0;
-    searcher.observe(view, *req, revealed);
+  WeakDrive drive(view, searcher, rng, budget, retry);
+  while (drive.step()) {
   }
-  return finish(view, false, false, restarts);
+  return drive.result();
 }
 
 SearchResult drive_strong(LocalView& view, StrongSearcher& searcher,
                           rng::Rng& rng, const RunBudget& budget,
                           const RetryBudget& retry) {
-  searcher.start(view, rng);
-  std::size_t consecutive_failures = 0;
-  std::size_t restarts = 0;
-  while (!view.target_found()) {
-    if (view.requests() >= budget.max_requests ||
-        view.raw_requests() >= budget.max_raw_requests) {
-      return finish(view, true, false, restarts);
-    }
-    const auto req = searcher.next(view, rng);
-    if (!req) return finish(view, false, true, restarts);
-    const std::size_t failures_before = view.failed_requests();
-    const auto neighbors = view.request_vertex_span(*req);
-    if (view.failed_requests() != failures_before) {
-      if (++consecutive_failures > retry.max_consecutive_failures) {
-        if (restarts >= retry.max_restarts) {
-          return finish(view, false, false, restarts, /*abandoned=*/true);
-        }
-        ++restarts;
-        consecutive_failures = 0;
-        searcher.start(view, rng);
-      }
-      continue;
-    }
-    consecutive_failures = 0;
-    searcher.observe(view, *req, neighbors);
+  StrongDrive drive(view, searcher, rng, budget, retry);
+  while (drive.step()) {
   }
-  return finish(view, false, false, restarts);
+  return drive.result();
 }
 
 }  // namespace

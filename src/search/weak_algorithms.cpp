@@ -21,9 +21,9 @@ std::optional<WeakRequest> RandomWalkWeak::next(const LocalView& view,
                                                 rng::Rng& rng) {
   const auto inc = view.incident(current_);
   if (inc.empty()) return std::nullopt;  // isolated start: stuck
-  const EdgeId e =
-      inc[static_cast<std::size_t>(rng.uniform_index(inc.size()))];
-  return WeakRequest{current_, e};
+  // The drawn index doubles as the slot hint.
+  const auto slot = static_cast<std::uint32_t>(rng.uniform_index(inc.size()));
+  return WeakRequest{current_, inc[slot], slot};
 }
 
 void RandomWalkWeak::observe(const LocalView&, const WeakRequest&,
@@ -40,13 +40,13 @@ std::optional<WeakRequest> NoBacktrackWalkWeak::next(const LocalView& view,
                                                      rng::Rng& rng) {
   const auto inc = view.incident(current_);
   if (inc.empty()) return std::nullopt;
-  if (inc.size() == 1) return WeakRequest{current_, inc[0]};
+  if (inc.size() == 1) return WeakRequest{current_, inc[0], 0};
   // Choose uniformly among incident edges other than the arrival edge.
-  EdgeId e;
+  std::uint32_t slot;
   do {
-    e = inc[static_cast<std::size_t>(rng.uniform_index(inc.size()))];
-  } while (e == arrival_edge_);
-  return WeakRequest{current_, e};
+    slot = static_cast<std::uint32_t>(rng.uniform_index(inc.size()));
+  } while (inc[slot] == arrival_edge_);
+  return WeakRequest{current_, inc[slot], slot};
 }
 
 void NoBacktrackWalkWeak::observe(const LocalView&,
@@ -66,7 +66,9 @@ void BfsWeak::start(const LocalView& view, rng::Rng&) {
 std::optional<WeakRequest> BfsWeak::next(const LocalView& view, rng::Rng&) {
   while (!queue_.empty()) {
     const VertexId v = queue_.front();
-    if (const auto e = view.first_unexplored(v)) return WeakRequest{v, *e};
+    if (const auto s = view.first_unexplored_slot(v)) {
+      return WeakRequest{v, view.incident(v)[*s], *s};
+    }
     queue_.pop_front();
   }
   return std::nullopt;
@@ -87,7 +89,9 @@ void DfsWeak::start(const LocalView& view, rng::Rng&) {
 std::optional<WeakRequest> DfsWeak::next(const LocalView& view, rng::Rng&) {
   while (!stack_.empty()) {
     const VertexId v = stack_.back();
-    if (const auto e = view.first_unexplored(v)) return WeakRequest{v, *e};
+    if (const auto s = view.first_unexplored_slot(v)) {
+      return WeakRequest{v, view.incident(v)[*s], *s};
+    }
     stack_.pop_back();
   }
   return std::nullopt;
@@ -116,8 +120,8 @@ std::optional<WeakRequest> PriorityGreedyWeak::next(const LocalView& view,
                                                     rng::Rng&) {
   while (!heap_.empty()) {
     const Entry top = heap_.top();
-    if (const auto e = view.first_unexplored(top.v)) {
-      return WeakRequest{top.v, *e};
+    if (const auto s = view.first_unexplored_slot(top.v)) {
+      return WeakRequest{top.v, view.incident(top.v)[*s], *s};
     }
     heap_.pop();  // exhausted vertex
   }
@@ -159,15 +163,14 @@ void FrontierWalkWeak::start(const LocalView& view, rng::Rng&) {
 
 std::optional<WeakRequest> FrontierWalkWeak::next(const LocalView& view,
                                                   rng::Rng& rng) {
-  if (const auto e = view.first_unexplored(current_)) {
-    return WeakRequest{current_, *e};
+  if (const auto s = view.first_unexplored_slot(current_)) {
+    return WeakRequest{current_, view.incident(current_)[*s], *s};
   }
   const auto inc = view.incident(current_);
   if (inc.empty()) return std::nullopt;
   // All incident edges explored: drift along one (free, raw-only request).
-  const graph::EdgeId e =
-      inc[static_cast<std::size_t>(rng.uniform_index(inc.size()))];
-  return WeakRequest{current_, e};
+  const auto slot = static_cast<std::uint32_t>(rng.uniform_index(inc.size()));
+  return WeakRequest{current_, inc[slot], slot};
 }
 
 void FrontierWalkWeak::observe(const LocalView&, const WeakRequest&,
@@ -185,7 +188,9 @@ std::optional<WeakRequest> RandomFrontierWeak::next(const LocalView& view,
     const auto idx =
         static_cast<std::size_t>(rng.uniform_index(frontier_.size()));
     const VertexId v = frontier_[idx];
-    if (const auto e = view.first_unexplored(v)) return WeakRequest{v, *e};
+    if (const auto s = view.first_unexplored_slot(v)) {
+      return WeakRequest{v, view.incident(v)[*s], *s};
+    }
     // Exhausted: swap-remove and retry.
     frontier_[idx] = frontier_.back();
     frontier_.pop_back();

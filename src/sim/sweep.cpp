@@ -43,6 +43,7 @@ template <typename Portfolio, typename RunOne, typename MakeGraph>
 PortfolioCost measure_portfolio_impl(const MakeGraph& make_graph,
                                      const EndpointSelector& endpoints,
                                      std::size_t reps, std::uint64_t seed,
+                                     rng::StreamPlanVersion stream_plan,
                                      const Portfolio& portfolio_factory,
                                      const RunOne& run_one,
                                      std::size_t threads) {
@@ -72,19 +73,25 @@ PortfolioCost measure_portfolio_impl(const MakeGraph& make_graph,
     // across experiments whose seeds differ by a small XOR delta — the
     // stream audit caught exactly that in-tree: seeds 17 and 29 (delta
     // 0x0c) shared policy streams 0x5ea7c4+4 and 0x5ea7c4+0.
-    // Derivations go through the audited wrapper so a sweep run under
-    // SFS_RNG_AUDIT=1 fails fast on stream collisions (rng/stream_audit).
-    rng::Rng graph_rng(rng::audited_stream_seed(seed, 0, rep));
+    // Derivations go through the versioned, audited stream plan
+    // (rng/stream_plan.hpp): under kLegacy each call is exactly the
+    // historical audited_stream_seed mix chain, so v1 artifacts replay bit
+    // for bit; under kCounter the same tags key O(1) Philox derivations.
+    // Either way a sweep run under SFS_RNG_AUDIT=1 fails fast on stream
+    // collisions (rng/stream_audit).
+    rng::Rng graph_rng(rng::StreamPlan(seed, 0, stream_plan).stream_seed(rep));
     const graph::Graph& g = make_graph(graph_rng, st);
     rng::Rng endpoint_rng(
-        rng::audited_stream_seed(seed, rng::mix64(0xabcdef), rep));
+        rng::StreamPlan(seed, rng::mix64(0xabcdef), stream_plan)
+            .stream_seed(rep));
     const auto [start, target] = endpoints(g, endpoint_rng);
 
     auto& row = results[rep];
     row.resize(num_policies);
     for (std::size_t i = 0; i < num_policies; ++i) {
       rng::Rng search_rng(
-          rng::audited_stream_seed(seed, rng::mix64(0x5ea7c4 + i), rep));
+          rng::StreamPlan(seed, rng::mix64(0x5ea7c4 + i), stream_plan)
+              .stream_seed(rep));
       row[i] = run_one(g, start, target, *st.policies[i], search_rng,
                        st.ctx.workspace);
     }
@@ -174,13 +181,14 @@ template <typename Factory>
 PortfolioCost measure_weak_plan(PolicySpecs specs, const Factory& factory,
                                 const EndpointSelector& endpoints,
                                 std::size_t reps, std::uint64_t seed,
+                                rng::StreamPlanVersion stream_plan,
                                 const search::RunBudget& budget,
                                 std::size_t threads) {
   return measure_portfolio_impl(
       [&](rng::Rng& rng, auto& st) -> const graph::Graph& {
         return remake_graph(factory, rng, st);
       },
-      endpoints, reps, seed,
+      endpoints, reps, seed, stream_plan,
       [specs] { return search::make_weak_searchers(specs); },
       [&](const graph::Graph& g, VertexId s, VertexId t,
           search::WeakSearcher& policy, rng::Rng& rng,
@@ -194,13 +202,14 @@ template <typename Factory>
 PortfolioCost measure_strong_plan(PolicySpecs specs, const Factory& factory,
                                   const EndpointSelector& endpoints,
                                   std::size_t reps, std::uint64_t seed,
+                                  rng::StreamPlanVersion stream_plan,
                                   const search::RunBudget& budget,
                                   std::size_t threads) {
   return measure_portfolio_impl(
       [&](rng::Rng& rng, auto& st) -> const graph::Graph& {
         return remake_graph(factory, rng, st);
       },
-      endpoints, reps, seed,
+      endpoints, reps, seed, stream_plan,
       [specs] { return search::make_strong_searchers(specs); },
       [&](const graph::Graph& g, VertexId s, VertexId t,
           search::StrongSearcher& policy, rng::Rng& rng,
@@ -226,17 +235,21 @@ PortfolioCost measure_portfolio(const RunPlan& plan) {
   if (plan.model == search::KnowledgeModel::kWeak) {
     if (plain) {
       return measure_weak_plan(specs, plan.factory, plan.endpoints, plan.reps,
-                               plan.seed, plan.budget, plan.threads);
+                               plan.seed, plan.stream_plan, plan.budget,
+                               plan.threads);
     }
     return measure_weak_plan(specs, plan.scratch_factory, plan.endpoints,
-                             plan.reps, plan.seed, plan.budget, plan.threads);
+                             plan.reps, plan.seed, plan.stream_plan,
+                             plan.budget, plan.threads);
   }
   if (plain) {
     return measure_strong_plan(specs, plan.factory, plan.endpoints, plan.reps,
-                               plan.seed, plan.budget, plan.threads);
+                               plan.seed, plan.stream_plan, plan.budget,
+                               plan.threads);
   }
   return measure_strong_plan(specs, plan.scratch_factory, plan.endpoints,
-                             plan.reps, plan.seed, plan.budget, plan.threads);
+                             plan.reps, plan.seed, plan.stream_plan,
+                             plan.budget, plan.threads);
 }
 
 namespace {

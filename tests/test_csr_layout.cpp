@@ -1,0 +1,145 @@
+// Tests for the degree-sorted CSR layout (graph/csr_layout.hpp and the
+// GraphBuilder CsrLayout overload): permutation validity, ordering
+// property, and exact round-trip back to the original graph.
+#include "graph/csr_layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "gen/mori.hpp"
+#include "graph/builder.hpp"
+#include "rng/random.hpp"
+
+namespace {
+
+using sfs::graph::CsrLayout;
+using sfs::graph::degree_sorted_relabel;
+using sfs::graph::DegreeSortedRelabeling;
+using sfs::graph::Edge;
+using sfs::graph::EdgeId;
+using sfs::graph::Graph;
+using sfs::graph::GraphBuilder;
+using sfs::graph::relabel_vertices;
+using sfs::graph::VertexId;
+
+Graph mori(std::size_t n, std::uint64_t seed) {
+  sfs::rng::Rng rng(seed);
+  return sfs::gen::merged_mori_graph(n, 2, sfs::gen::MoriParams{0.5}, rng);
+}
+
+// Star around 2 plus a pendant chain: distinctive degree sequence.
+Graph star_chain() {
+  GraphBuilder b(6);
+  b.add_edge(2, 0);
+  b.add_edge(2, 1);
+  b.add_edge(2, 3);
+  b.add_edge(2, 4);
+  b.add_edge(4, 5);
+  return b.build();
+}
+
+TEST(CsrLayout, PermutationIsValidAndInverse) {
+  const Graph g = mori(200, 31);
+  const DegreeSortedRelabeling r = degree_sorted_relabel(g);
+  ASSERT_EQ(r.to_new.size(), g.num_vertices());
+  ASSERT_EQ(r.to_old.size(), g.num_vertices());
+  std::set<VertexId> image(r.to_new.begin(), r.to_new.end());
+  EXPECT_EQ(image.size(), g.num_vertices());  // a bijection
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(r.to_old[r.to_new[v]], v);
+    EXPECT_EQ(r.to_new[r.to_old[v]], v);
+  }
+}
+
+TEST(CsrLayout, NewIdsAreDegreeSorted) {
+  const Graph g = mori(300, 32);
+  const DegreeSortedRelabeling r = degree_sorted_relabel(g);
+  // Non-increasing degree along the new id axis, ties broken by old id
+  // ascending (full determinism, not just degree order).
+  for (VertexId v = 0; v + 1 < r.graph.num_vertices(); ++v) {
+    const auto d0 = r.graph.degree(v);
+    const auto d1 = r.graph.degree(v + 1);
+    EXPECT_GE(d0, d1) << "new id " << v;
+    if (d0 == d1) EXPECT_LT(r.to_old[v], r.to_old[v + 1]);
+  }
+  // Degrees travel with the vertices.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(r.graph.degree(r.to_new[v]), g.degree(v));
+  }
+}
+
+TEST(CsrLayout, SmallGraphExplicitOrder) {
+  const DegreeSortedRelabeling r = degree_sorted_relabel(star_chain());
+  // Degrees: v2 = 4, v4 = 2, the rest 1 (ties by old id: 0, 1, 3, 5).
+  EXPECT_EQ(r.to_old, (std::vector<VertexId>{2, 4, 0, 1, 3, 5}));
+}
+
+TEST(CsrLayout, RoundTripReproducesOriginalExactly) {
+  // Relabeling through to_new and back through to_old must reproduce the
+  // original CSR bit for bit: same endpoints per edge id, same spans.
+  const Graph g = mori(150, 33);
+  const DegreeSortedRelabeling r = degree_sorted_relabel(g);
+  const Graph back = relabel_vertices(r.graph, r.to_old);
+  ASSERT_EQ(back.num_vertices(), g.num_vertices());
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  for (std::size_t ei = 0; ei < g.num_edges(); ++ei) {
+    const Edge& a = g.edge(static_cast<EdgeId>(ei));
+    const Edge& b = back.edge(static_cast<EdgeId>(ei));
+    EXPECT_EQ(a.tail, b.tail);
+    EXPECT_EQ(a.head, b.head);
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto ia = g.incident(v);
+    const auto ib = back.incident(v);
+    ASSERT_EQ(ia.size(), ib.size());
+    EXPECT_TRUE(std::equal(ia.begin(), ia.end(), ib.begin()));
+    const auto aa = g.adjacent(v);
+    const auto ab = back.adjacent(v);
+    EXPECT_TRUE(std::equal(aa.begin(), aa.end(), ab.begin()));
+  }
+}
+
+TEST(CsrLayout, BuilderOverloadMatchesFreeFunction) {
+  const Graph g = mori(120, 34);
+  const DegreeSortedRelabeling r = degree_sorted_relabel(g);
+
+  GraphBuilder b(g.num_vertices());
+  for (std::size_t ei = 0; ei < g.num_edges(); ++ei) {
+    const Edge& e = g.edge(static_cast<EdgeId>(ei));
+    b.add_edge(e.tail, e.head);
+  }
+  Graph direct;
+  std::vector<VertexId> to_new;
+  b.build_into(direct, CsrLayout::kDegreeSorted, &to_new);
+  EXPECT_EQ(to_new, r.to_new);
+  ASSERT_EQ(direct.num_edges(), r.graph.num_edges());
+  for (std::size_t ei = 0; ei < direct.num_edges(); ++ei) {
+    const Edge& a = direct.edge(static_cast<EdgeId>(ei));
+    const Edge& c = r.graph.edge(static_cast<EdgeId>(ei));
+    EXPECT_EQ(a.tail, c.tail);
+    EXPECT_EQ(a.head, c.head);
+  }
+}
+
+TEST(CsrLayout, InsertionOrderLayoutIsIdentity) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  Graph g;
+  std::vector<VertexId> to_new;
+  b.build_into(g, CsrLayout::kInsertionOrder, &to_new);
+  EXPECT_EQ(to_new, (std::vector<VertexId>{0, 1, 2}));
+  EXPECT_EQ(g.edge(0).tail, 0u);
+  EXPECT_EQ(g.edge(1).head, 2u);
+}
+
+TEST(CsrLayout, RelabelValidatesPermutationSize) {
+  const Graph g = star_chain();
+  const std::vector<VertexId> wrong(3, 0);
+  EXPECT_THROW((void)relabel_vertices(g, wrong), std::invalid_argument);
+}
+
+}  // namespace

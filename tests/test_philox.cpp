@@ -1,0 +1,137 @@
+// Tests for the counter-based Philox engine (rng/philox.hpp): seek ==
+// sequential advance, keyed independence, and stream stability.
+#include "rng/philox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <vector>
+
+namespace {
+
+using sfs::rng::Philox4x64;
+
+static_assert(std::uniform_random_bit_generator<Philox4x64>);
+
+TEST(Philox, DeterministicForSameKey) {
+  Philox4x64 a(42, 7);
+  Philox4x64 b(42, 7);
+  for (int i = 0; i < 256; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Philox, SeekEqualsSequentialAdvance) {
+  // The core counter-engine contract: seek(k) lands exactly where k
+  // sequential draws land, for offsets on and off block boundaries.
+  Philox4x64 reference(0x5EED, 0xBEEF);
+  std::vector<std::uint64_t> draws(64);
+  for (auto& d : draws) d = reference();
+
+  for (std::uint64_t k = 0; k < draws.size(); ++k) {
+    Philox4x64 seeker(0x5EED, 0xBEEF);
+    seeker.seek(k);
+    EXPECT_EQ(seeker.position(), k);
+    // After the seek the remaining tail must match bit for bit.
+    for (std::uint64_t i = k; i < draws.size(); ++i) {
+      EXPECT_EQ(seeker(), draws[i]) << "seek(" << k << ") diverged at " << i;
+    }
+  }
+}
+
+TEST(Philox, SeekIsReusable) {
+  // Seeking backwards and forwards at will: the engine is a pure function
+  // of (key, position), with no history.
+  Philox4x64 eng(9, 9);
+  eng.seek(17);
+  const std::uint64_t at17 = eng();
+  eng.seek(3);
+  (void)eng();
+  eng.seek(17);
+  EXPECT_EQ(eng(), at17);
+}
+
+TEST(Philox, PositionTracksDraws) {
+  Philox4x64 eng(1, 2);
+  EXPECT_EQ(eng.position(), 0u);
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    (void)eng();
+    EXPECT_EQ(eng.position(), i);
+  }
+}
+
+TEST(Philox, BlockAtMatchesOperatorAndIsConst) {
+  const Philox4x64 eng(123, 456);
+  const auto block0 = eng.block_at(0);
+  const auto block1 = eng.block_at(1);
+  Philox4x64 seq(123, 456);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(seq(), block0[i]);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(seq(), block1[i]);
+  // block_at does not perturb engine state.
+  EXPECT_EQ(eng.position(), 0u);
+}
+
+TEST(Philox, DifferentKeysDecorrelate) {
+  Philox4x64 a(1, 0);
+  Philox4x64 b(2, 0);
+  Philox4x64 c(1, 1);
+  int ab = 0;
+  int ac = 0;
+  for (int i = 0; i < 256; ++i) {
+    const auto x = a();
+    if (x == b()) ++ab;
+    if (x == c()) ++ac;
+  }
+  EXPECT_LE(ab, 1);
+  EXPECT_LE(ac, 1);
+}
+
+TEST(Philox, NearbyCountersProduceDistinctValues) {
+  // Counter-based streams are used as per-index derivations; adjacent
+  // indices must not collide (Philox is a bijection of the counter, so
+  // equal outputs would require equal counters).
+  Philox4x64 eng(0, 0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 4096; ++i) seen.insert(eng());
+  EXPECT_EQ(seen.size(), 4096u);
+}
+
+TEST(Philox, ZeroKeyZeroCounterIsNontrivial) {
+  // The all-zero input must still encrypt to a scrambled block (guards
+  // against a broken round function that fixes zero).
+  const Philox4x64 eng(0, 0);
+  const auto block = eng.block_at(0);
+  for (const auto word : block) EXPECT_NE(word, 0u);
+  EXPECT_NE(block[0], block[1]);
+  EXPECT_NE(block[2], block[3]);
+}
+
+TEST(Philox, StreamStabilityGolden) {
+  // Pins the exact output stream. Plan-v2 stream seeds are Philox outputs,
+  // so any change to the round function, constants, or counter layout is a
+  // reproducibility break and must show up as a loud test failure plus a
+  // stream-plan version bump — not as silently different experiments.
+  Philox4x64 eng(0x1A26E1ULL, 0x5EEDULL);
+  const std::uint64_t expected[4] = {
+      eng.block_at(0)[0], eng.block_at(0)[1], eng.block_at(0)[2],
+      eng.block_at(0)[3]};
+  // Self-consistency of the pinned path.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(eng(), expected[i]);
+  // The frozen values (captured at introduction; see stream_plan.hpp).
+  EXPECT_EQ(expected[0], 0x8AEF7428E459D836ULL);
+  EXPECT_EQ(expected[1], 0xC1E0B030DEA98A0DULL);
+  EXPECT_EQ(expected[2], 0xDFF2357C553830C0ULL);
+  EXPECT_EQ(expected[3], 0xB56D8207EF9C421BULL);
+}
+
+TEST(Philox, CoarseUniformity) {
+  // Coarse distributional sanity: high-bit split is near balanced.
+  Philox4x64 eng(77, 88);
+  int high = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (eng() >> 63) ++high;
+  }
+  EXPECT_NEAR(static_cast<double>(high) / n, 0.5, 0.01);
+}
+
+}  // namespace
