@@ -18,6 +18,7 @@
 
 #include "gen/config_model.hpp"
 #include "graph/algorithms.hpp"
+#include "rng/stream_audit.hpp"
 #include "search/percolation.hpp"
 #include "search/query_engine.hpp"
 #include "sim/table.hpp"
@@ -104,7 +105,7 @@ int main(int argc, char** argv) {
     // endpoint draws above, and replaying it here would correlate the
     // percolation coin flips with the endpoint choice bit for bit.
     sfs::rng::Rng lookup_rng(
-        sfs::rng::derive_stream_seed(seed, sfs::rng::mix64(0x9e6c), rep));
+        sfs::rng::audited_stream_seed(seed, sfs::rng::mix64(0x9e6c), rep));
     const auto pr = sfs::search::percolation_search(
         g, lookups[rep].target, lookups[rep].start,
         sfs::search::PercolationParams{60, 15, 0.12}, lookup_rng);

@@ -30,10 +30,9 @@ capture() {
   local run="$1" out="$2"
   echo "== capturing ${out} (sfs_bench --run ${run} --quick)"
   "${BENCH}" --run "${run}" --quick --json "${out}" > /dev/null
-  if [[ ! -s "${out}" ]]; then
-    echo "error: ${out} is empty — the ${run} experiment emitted no BENCH_JSON." >&2
-    exit 1
-  fi
+  # Validate against the same BENCH_SCHEMA table the CI baseline guard
+  # uses (one source of truth — see scripts/check_baselines.py).
+  python3 scripts/check_baselines.py --schema-only "${out}" --bench "${run}"
   echo "   $(wc -l < "${out}") records"
 }
 

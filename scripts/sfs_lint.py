@@ -1,0 +1,663 @@
+#!/usr/bin/env python3
+"""sfs_lint: determinism & API-invariant static analysis for sfsearch.
+
+The repo's credibility rests on bit-identity invariants (seq==parallel
+portfolios, frozen kLegacy streams, audited seed derivation, byte-stable
+BENCH_JSON artifacts).  Runtime tests enforce them after the fact; this
+linter enforces them *statically*, so a stray `std::mt19937` or a raw
+`derive_stream_seed` call is rejected before it can silently decorrelate
+a measurement.  Full rule catalog and war stories: docs/ANALYSIS.md.
+
+Rules
+-----
+  rng-sources         (R1) no std::mt19937 / std::random_device / rand()
+                      / clock-as-entropy outside src/rng/ and the test
+                      allowlist.  All randomness flows from sfs::rng.
+  raw-derive          (R2) rng::derive_stream_seed callers outside
+                      src/rng/ must route through audited_stream_seed or
+                      a versioned StreamPlan (the PR 3 audit caught a
+                      real seed collision this rule prevents statically).
+  unordered-emission  (R3) no iteration over std::unordered_{map,set} in
+                      a TU that touches the sim/report emitter surface —
+                      hash-iteration order would leak into committed
+                      artifacts.
+  legacy-api          (R4) no call-expression-level use of the legacy
+                      measure_weak_portfolio / measure_strong_portfolio
+                      compat surface outside its three pinned files
+                      (replaces the CI api-guard grep; strings and
+                      comments cannot false-positive here).
+  check-discipline    (R5) no raw `throw` / `assert(` in src/ — use
+                      SFS_REQUIRE / SFS_CHECK (base/check.hpp) so
+                      failures carry expression, location, and context.
+
+Suppression
+-----------
+A violation is suppressible ONLY via an annotation on the same line or
+the line directly above, with a mandatory non-empty reason:
+
+    // SFS_LINT_ALLOW(check-discipline): I/O failure is environmental,
+    //   std::runtime_error is the documented contract.
+
+An SFS_LINT_ALLOW without a reason (or naming an unknown rule) is itself
+a violation (`allow-no-reason` / `allow-unknown-rule`) and cannot be
+suppressed.
+
+Engines
+-------
+`--engine token` (default fallback) lexes each file, strips comments and
+string/character literals with full raw-string support, and applies the
+rules to the remaining token text — no network, no non-stdlib deps.
+`--engine libclang` upgrades R2/R4/R5 to true call-/throw-expression
+checks when python clang bindings + libclang are installed; `--engine
+auto` (default) probes and falls back.  Both engines share scoping,
+suppression, and reporting, and the fixture corpus under
+tests/lint_fixtures/ pins their behavior (`--self-test`).
+
+Exit codes: 0 clean, 1 violations found (or self-test mismatch),
+2 usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+# --------------------------------------------------------------------------
+# Rule table
+# --------------------------------------------------------------------------
+
+# Directories scanned by --all, relative to the repo root.
+SCAN_DIRS = ("src", "bench", "examples", "tests")
+SOURCE_SUFFIXES = (".cpp", ".hpp", ".cc", ".hh", ".h")
+# Deliberate-violation corpus for --self-test; never part of --all.
+FIXTURE_DIR = "tests/lint_fixtures"
+
+
+def _in_dir(path: str, prefix: str) -> bool:
+    return path == prefix or path.startswith(prefix + "/")
+
+
+@dataclass(frozen=True)
+class Rule:
+    name: str
+    summary: str
+    in_scope: object  # Callable[[str], bool] over repo-relative posix paths
+
+
+# R1: files where process-global or non-sfs RNG sources are legitimate.
+# src/rng/ *implements* the RNG layer; the test allowlist names tests that
+# exercise third-party generator parity on purpose (currently none — add a
+# path here, with a PR justification, rather than sprinkling ALLOWs).
+R1_ALLOWED_PATHS: tuple[str, ...] = ()
+
+# R4: the pinned legacy compat surface (mirrors the retired api-guard job).
+R4_COMPAT_FILES = (
+    "src/sim/sweep.hpp",
+    "src/sim/sweep.cpp",
+    "tests/test_sweep_compat.cpp",
+)
+
+RULES = {
+    "rng-sources": Rule(
+        "rng-sources",
+        "std RNG / libc rand / clock-as-entropy outside src/rng/",
+        lambda p: not _in_dir(p, "src/rng") and p not in R1_ALLOWED_PATHS,
+    ),
+    "raw-derive": Rule(
+        "raw-derive",
+        "raw rng::derive_stream_seed call outside src/rng/ "
+        "(use audited_stream_seed / StreamPlan)",
+        lambda p: not _in_dir(p, "src/rng"),
+    ),
+    "unordered-emission": Rule(
+        "unordered-emission",
+        "unordered-container iteration in a TU touching the "
+        "sim/report emitter surface",
+        lambda p: True,
+    ),
+    "legacy-api": Rule(
+        "legacy-api",
+        "legacy measure_*_portfolio call outside the compat surface",
+        lambda p: p not in R4_COMPAT_FILES,
+    ),
+    "check-discipline": Rule(
+        "check-discipline",
+        "raw throw/assert in src/ (use SFS_REQUIRE / SFS_CHECK)",
+        lambda p: _in_dir(p, "src") and p != "src/base/check.hpp",
+    ),
+}
+
+# Meta-diagnostics emitted by the suppression machinery itself.  They are
+# not suppressible and fire regardless of path scope.
+META_RULES = ("allow-no-reason", "allow-unknown-rule")
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --------------------------------------------------------------------------
+# Lexing: strip comments and string/char literals, keep line structure
+# --------------------------------------------------------------------------
+
+@dataclass
+class LexedFile:
+    """`code` has comments and literal *contents* blanked (same line count
+    and column positions as the original); `comments` maps line -> comment
+    text found on that line (concatenated if several)."""
+
+    code: str
+    comments: dict[int, str] = field(default_factory=dict)
+
+
+def lex(text: str) -> LexedFile:
+    out: list[str] = []
+    comments: dict[int, str] = {}
+    i, n = 0, len(text)
+    line = 1
+
+    def note_comment(ln: int, s: str) -> None:
+        comments[ln] = comments.get(ln, "") + s
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            note_comment(line, text[i:j])
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            chunk = text[i:j]
+            # Attribute each comment line's text to its own line number.
+            for k, part in enumerate(chunk.split("\n")):
+                note_comment(line + k, part)
+            out.append("".join(ch if ch == "\n" else " " for ch in chunk))
+            line += chunk.count("\n")
+            i = j
+        elif c == 'R' and nxt == '"' and (i == 0 or not (text[i - 1].isalnum() or text[i - 1] == "_")):
+            # Raw string literal R"delim( ... )delim"
+            m = re.match(r'R"([^()\\ \t\n]{0,16})\(', text[i:])
+            if not m:
+                out.append(c)
+                i += 1
+                continue
+            closer = ")" + m.group(1) + '"'
+            j = text.find(closer, i + m.end())
+            j = n if j == -1 else j + len(closer)
+            chunk = text[i:j]
+            out.append('""' + "".join(ch if ch == "\n" else " " for ch in chunk[2:]))
+            line += chunk.count("\n")
+            i = j
+        elif c == '"' or c == "'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                if text[j] == "\\":
+                    j += 1
+                if j < n and text[j] == "\n":
+                    break  # unterminated literal; stop at line end
+                j += 1
+            j = min(j + 1, n)
+            out.append(quote + " " * max(0, j - i - 2) + (quote if j - i >= 2 else ""))
+            line += text[i:j].count("\n")
+            i = j
+        else:
+            if c == "\n":
+                line += 1
+            out.append(c)
+            i += 1
+    return LexedFile("".join(out), comments)
+
+
+# --------------------------------------------------------------------------
+# Suppression annotations
+# --------------------------------------------------------------------------
+
+ALLOW_RE = re.compile(
+    r"SFS_LINT_ALLOW\s*\(\s*([A-Za-z0-9_-]*)\s*\)\s*(?::\s*(.*))?$")
+# Prose may mention SFS_LINT_ALLOW without parentheses (docs, fixture
+# headers); only the call-shaped form is an annotation attempt.
+ALLOW_ATTEMPT_RE = re.compile(r"SFS_LINT_ALLOW\s*\(")
+# Fixtures declare the path they pretend to live at, so path-scoped rules
+# are exercised for real from inside tests/lint_fixtures/.
+FIXTURE_PATH_RE = re.compile(r"SFS_LINT_FIXTURE_PATH:\s*(\S+)")
+
+
+@dataclass
+class Allow:
+    line: int
+    rule: str
+    reason: str
+
+
+def parse_allows(lexed: LexedFile) -> tuple[list[Allow], list[Finding]]:
+    """Returns (valid allows, meta findings for malformed ones)."""
+    allows: list[Allow] = []
+    meta: list[Finding] = []
+    for ln, comment in sorted(lexed.comments.items()):
+        m = ALLOW_RE.search(comment)
+        if not m:
+            if ALLOW_ATTEMPT_RE.search(comment):
+                meta.append(Finding("", ln, "allow-no-reason",
+                                    "malformed SFS_LINT_ALLOW — expected "
+                                    "SFS_LINT_ALLOW(rule): reason"))
+            continue
+        rule, reason = m.group(1), (m.group(2) or "").strip()
+        if rule not in RULES:
+            meta.append(Finding("", ln, "allow-unknown-rule",
+                                f"SFS_LINT_ALLOW names unknown rule '{rule}'"))
+            continue
+        if not reason:
+            meta.append(Finding("", ln, "allow-no-reason",
+                                f"SFS_LINT_ALLOW({rule}) has no reason — a "
+                                "justification is mandatory"))
+            continue
+        allows.append(Allow(ln, rule, reason))
+    return allows, meta
+
+
+def apply_allows(findings: list[Finding], allows: list[Allow]) -> list[Finding]:
+    """An allow on line L suppresses findings of its rule on L (trailing
+    annotation) and L+1 (annotation on its own line above)."""
+    allowed: set[tuple[str, int]] = set()
+    for a in allows:
+        allowed.add((a.rule, a.line))
+        allowed.add((a.rule, a.line + 1))
+    return [f for f in findings if (f.rule, f.line) not in allowed]
+
+
+# --------------------------------------------------------------------------
+# Token-engine rules
+# --------------------------------------------------------------------------
+
+R1_STD_RNG_RE = re.compile(
+    r"\bstd\s*::\s*(mt19937(?:_64)?|random_device|default_random_engine|"
+    r"minstd_rand0?|ranlux(?:24|48)(?:_base)?|knuth_b|s?rand)\b")
+R1_LIBC_RNG_RE = re.compile(r"(?<![\w:.>])(rand|srand|random|srandom|"
+                            r"drand48|lrand48|mrand48|rand_r)\s*\(")
+R1_TIME_ENTROPY_RE = re.compile(r"\btime\s*\(\s*(?:0|NULL|nullptr)\s*\)")
+R1_CLOCK_SEED_RE = re.compile(
+    r"(seed|Seed|Rng|rng)\w*[^;\n]*_clock\s*::\s*now\s*\(|"
+    r"_clock\s*::\s*now\s*\(\s*\)[^;\n]*\b(seed|Seed)")
+
+R2_RE = re.compile(r"\bderive_stream_seed\s*\(")
+
+R3_SURFACE_RE = re.compile(
+    r'#\s*include\s*"sim/(report|experiment)\.hpp"|'
+    r"\bResultsEmitter\b|\bemit_object\b|\bBENCH_JSON\b")
+R3_DECL_RE = re.compile(r"\bstd\s*::\s*unordered_(?:map|set)\s*<[^;{]*?>\s+(\w+)")
+R3_INLINE_ITER_RE = re.compile(r":\s*\w[\w:]*\s*\.?\s*$")  # unused; kept simple below
+
+R4_RE = re.compile(r"\b(measure_weak_portfolio|measure_strong_portfolio)\s*\(")
+
+R5_THROW_RE = re.compile(r"\bthrow\b")
+R5_ASSERT_RE = re.compile(r"(?<!static_)\bassert\s*\(")
+
+
+def _line_findings(path: str, code: str, regex: re.Pattern, rule: str,
+                   message: str) -> list[Finding]:
+    found = []
+    for idx, line_text in enumerate(code.split("\n"), start=1):
+        if regex.search(line_text):
+            found.append(Finding(path, idx, rule, message))
+    return found
+
+
+def token_rule_rng_sources(path: str, lexed: LexedFile) -> list[Finding]:
+    out = []
+    out += _line_findings(path, lexed.code, R1_STD_RNG_RE, "rng-sources",
+                          "std::<random> engine/device — all randomness must "
+                          "come from sfs::rng (src/rng/) so streams stay "
+                          "seeded, derived, and auditable")
+    out += _line_findings(path, lexed.code, R1_LIBC_RNG_RE, "rng-sources",
+                          "libc RNG — process-global, unseeded-by-discipline; "
+                          "use sfs::rng")
+    out += _line_findings(path, lexed.code, R1_TIME_ENTROPY_RE, "rng-sources",
+                          "time(...) as entropy — wall clock in a seed makes "
+                          "every run unreproducible")
+    out += _line_findings(path, lexed.code, R1_CLOCK_SEED_RE, "rng-sources",
+                          "clock-derived value feeding a seed/Rng — "
+                          "reproducibility requires explicit seeds")
+    return out
+
+
+def token_rule_raw_derive(path: str, lexed: LexedFile) -> list[Finding]:
+    return _line_findings(
+        path, lexed.code, R2_RE, "raw-derive",
+        "raw derive_stream_seed call — route through "
+        "rng::audited_stream_seed (SFS_RNG_AUDIT coverage) or a versioned "
+        "rng::StreamPlan; the PR 3 audit caught a real seed collision here")
+
+
+def token_rule_unordered_emission(path: str, lexed: LexedFile) -> list[Finding]:
+    code = lexed.code
+    if not R3_SURFACE_RE.search(code):
+        return []
+    out: list[Finding] = []
+    unordered_vars = set(R3_DECL_RE.findall(code))
+    msg = ("iteration over a std::unordered_ container in an emitter TU — "
+           "hash-iteration order is implementation-defined and would leak "
+           "into committed BENCH_JSON artifacts; iterate a sorted copy or "
+           "an ordered container")
+    for idx, line_text in enumerate(code.split("\n"), start=1):
+        # Range-for directly over an unordered temporary or declared var.
+        m = re.search(r"for\s*\([^;)]*:\s*([\w:]+)", line_text)
+        if m:
+            target = m.group(1).split("::")[-1]
+            if target in unordered_vars or "unordered_" in m.group(1):
+                out.append(Finding(path, idx, "unordered-emission", msg))
+                continue
+        # Explicit iterator walks: var.begin() / var.cbegin().
+        m = re.search(r"\b(\w+)\s*\.\s*c?begin\s*\(", line_text)
+        if m and m.group(1) in unordered_vars:
+            out.append(Finding(path, idx, "unordered-emission", msg))
+    return out
+
+
+def token_rule_legacy_api(path: str, lexed: LexedFile) -> list[Finding]:
+    return _line_findings(
+        path, lexed.code, R4_RE, "legacy-api",
+        "legacy measure_*_portfolio call — the compat surface is pinned to "
+        "src/sim/sweep.{hpp,cpp} + tests/test_sweep_compat.cpp; use "
+        "sim::measure_portfolio(RunPlan) (docs/SEARCH.md)")
+
+
+def token_rule_check_discipline(path: str, lexed: LexedFile) -> list[Finding]:
+    out = []
+    out += _line_findings(path, lexed.code, R5_THROW_RE, "check-discipline",
+                          "raw throw in src/ — use SFS_REQUIRE (precondition) "
+                          "or SFS_CHECK (invariant) from base/check.hpp so "
+                          "failures carry expression + location")
+    out += _line_findings(path, lexed.code, R5_ASSERT_RE, "check-discipline",
+                          "assert() compiles out in release builds — use "
+                          "SFS_CHECK, which is always on by policy")
+    return out
+
+
+TOKEN_RULE_FNS = {
+    "rng-sources": token_rule_rng_sources,
+    "raw-derive": token_rule_raw_derive,
+    "unordered-emission": token_rule_unordered_emission,
+    "legacy-api": token_rule_legacy_api,
+    "check-discipline": token_rule_check_discipline,
+}
+
+
+# --------------------------------------------------------------------------
+# Optional libclang engine (upgrades R2/R4/R5 to AST precision)
+# --------------------------------------------------------------------------
+
+def try_libclang():
+    """Returns the clang.cindex module, or None when unavailable."""
+    try:
+        import clang.cindex as cindex  # type: ignore
+        cindex.Index.create()
+        return cindex
+    except Exception:
+        return None
+
+
+def libclang_findings(path: str, repo_root: Path, cindex) -> list[Finding] | None:
+    """AST-level R2/R4/R5 for one file; None on parse failure (caller falls
+    back to the token engine for those rules)."""
+    try:
+        index = cindex.Index.create()
+        tu = index.parse(str(repo_root / path),
+                         args=["-std=c++20", f"-I{repo_root / 'src'}"])
+    except Exception:
+        return None
+    if tu is None:
+        return None
+    out: list[Finding] = []
+    this_file = str(repo_root / path)
+    for node in tu.cursor.walk_preorder():
+        loc = node.location
+        if loc.file is None or str(loc.file) != this_file:
+            continue
+        kind = node.kind
+        if kind == cindex.CursorKind.CALL_EXPR:
+            name = node.spelling or ""
+            if name == "derive_stream_seed":
+                out.append(Finding(path, loc.line, "raw-derive",
+                                   "raw derive_stream_seed call (AST) — use "
+                                   "audited_stream_seed / StreamPlan"))
+            elif name in ("measure_weak_portfolio", "measure_strong_portfolio"):
+                out.append(Finding(path, loc.line, "legacy-api",
+                                   f"legacy {name} call (AST) — use "
+                                   "sim::measure_portfolio(RunPlan)"))
+        elif kind == cindex.CursorKind.CXX_THROW_EXPR:
+            out.append(Finding(path, loc.line, "check-discipline",
+                               "raw throw expression (AST) — use "
+                               "SFS_REQUIRE / SFS_CHECK"))
+    return out
+
+
+LIBCLANG_RULES = ("raw-derive", "legacy-api", "check-discipline")
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+def lint_text(path: str, text: str, engine: str, repo_root: Path,
+              cindex=None) -> list[Finding]:
+    """Lints one file's contents under its repo-relative `path` (which
+    drives rule scoping). Returns unsuppressed findings + meta findings."""
+    lexed = lex(text)
+    allows, meta = parse_allows(lexed)
+    for f in meta:
+        f.path = path
+
+    ast_findings: list[Finding] | None = None
+    if engine == "libclang" and cindex is not None:
+        ast_findings = libclang_findings(path, repo_root, cindex)
+
+    findings: list[Finding] = []
+    for rule_name, rule in RULES.items():
+        if not rule.in_scope(path):
+            continue
+        if ast_findings is not None and rule_name in LIBCLANG_RULES:
+            findings.extend(f for f in ast_findings if f.rule == rule_name)
+        else:
+            findings.extend(TOKEN_RULE_FNS[rule_name](path, lexed))
+
+    findings = apply_allows(findings, allows)
+    findings.extend(meta)
+    findings.sort(key=lambda f: (f.line, f.rule))
+    return findings
+
+
+def collect_files(repo_root: Path, explicit: list[str]) -> list[str]:
+    if explicit:
+        out = []
+        for raw in explicit:
+            p = Path(raw)
+            rel = p if not p.is_absolute() else p.relative_to(repo_root)
+            out.append(rel.as_posix())
+        return out
+    files = []
+    for d in SCAN_DIRS:
+        base = repo_root / d
+        if not base.is_dir():
+            continue
+        for p in sorted(base.rglob("*")):
+            rel = p.relative_to(repo_root).as_posix()
+            if p.suffix in SOURCE_SUFFIXES and not _in_dir(rel, FIXTURE_DIR):
+                files.append(rel)
+    return files
+
+
+def run_lint(repo_root: Path, files: list[str], engine: str,
+             as_json: bool) -> int:
+    cindex = None
+    if engine in ("auto", "libclang"):
+        cindex = try_libclang()
+        if engine == "libclang" and cindex is None:
+            print("sfs_lint: --engine libclang requested but python clang "
+                  "bindings/libclang are unavailable", file=sys.stderr)
+            return 2
+    effective = "libclang" if cindex is not None else "token"
+
+    all_findings: list[Finding] = []
+    for rel in files:
+        full = repo_root / rel
+        if not full.is_file():
+            print(f"sfs_lint: no such file: {rel}", file=sys.stderr)
+            return 2
+        text = full.read_text(encoding="utf-8", errors="replace")
+        all_findings.extend(lint_text(rel, text, effective, repo_root, cindex))
+
+    if as_json:
+        for f in all_findings:
+            print(json.dumps({"path": f.path, "line": f.line, "rule": f.rule,
+                              "message": f.message}))
+    else:
+        for f in all_findings:
+            print(f.render())
+    if all_findings:
+        print(f"sfs_lint: {len(all_findings)} violation(s) in "
+              f"{len(files)} file(s) [{effective} engine]", file=sys.stderr)
+        return 1
+    print(f"sfs_lint: OK — {len(files)} file(s) clean "
+          f"[{effective} engine]")
+    return 0
+
+
+# --------------------------------------------------------------------------
+# Self-test over the fixture corpus
+# --------------------------------------------------------------------------
+
+def parse_expectations(fixture: Path) -> list[tuple[int, str]]:
+    """Sidecar `<fixture>.expect`: one `LINE RULE` pair per line; missing
+    or empty sidecar means the fixture must lint clean."""
+    sidecar = fixture.with_suffix(fixture.suffix + ".expect")
+    if not sidecar.is_file():
+        return []
+    expected = []
+    for raw in sidecar.read_text().splitlines():
+        raw = raw.strip()
+        if not raw or raw.startswith("#"):
+            continue
+        line_s, rule = raw.split()
+        expected.append((int(line_s), rule))
+    return expected
+
+
+def run_self_test(repo_root: Path, fixtures_dir: Path, engine: str) -> int:
+    if not fixtures_dir.is_dir():
+        print(f"sfs_lint: fixture dir not found: {fixtures_dir}",
+              file=sys.stderr)
+        return 2
+    cindex = try_libclang() if engine in ("auto", "libclang") else None
+    effective = "libclang" if cindex is not None else "token"
+
+    fixtures = sorted(p for p in fixtures_dir.iterdir()
+                      if p.suffix in SOURCE_SUFFIXES)
+    if not fixtures:
+        print(f"sfs_lint: no fixtures under {fixtures_dir}", file=sys.stderr)
+        return 2
+
+    failures = 0
+    for fixture in fixtures:
+        text = fixture.read_text(encoding="utf-8")
+        m = FIXTURE_PATH_RE.search(text)
+        if not m:
+            print(f"FAIL {fixture.name}: missing "
+                  "// SFS_LINT_FIXTURE_PATH: <virtual path> marker")
+            failures += 1
+            continue
+        vpath = m.group(1)
+        # Fixtures exercise scoping via their declared virtual path; the
+        # AST engine cannot parse a file at a path it does not exist at,
+        # so fixtures always run the token engine (the engines share the
+        # suppression/scoping logic pinned here).
+        got = {(f.line, f.rule)
+               for f in lint_text(vpath, text, "token", repo_root)}
+        want = set(parse_expectations(fixture))
+        if got == want:
+            verdict = "clean" if not want else f"{len(want)} expected hit(s)"
+            print(f"ok   {fixture.name}: {verdict}")
+            continue
+        failures += 1
+        print(f"FAIL {fixture.name} (as {vpath}):")
+        for line, rule in sorted(want - got):
+            print(f"  missing expected {rule} at line {line}")
+        for line, rule in sorted(got - want):
+            print(f"  unexpected {rule} at line {line}")
+
+    total = len(fixtures)
+    if failures:
+        print(f"sfs_lint self-test: {failures}/{total} fixture(s) FAILED "
+              f"[{effective} engine available: "
+              f"{'yes' if cindex else 'no'}]")
+        return 1
+    print(f"sfs_lint self-test: {total}/{total} fixtures OK")
+    return 0
+
+
+# --------------------------------------------------------------------------
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="sfs_lint.py",
+        description="determinism & API-invariant lint for sfsearch "
+                    "(docs/ANALYSIS.md)")
+    parser.add_argument("--all", action="store_true",
+                        help="lint every C++ file under "
+                             + ", ".join(SCAN_DIRS))
+    parser.add_argument("files", nargs="*",
+                        help="specific files to lint (repo-relative)")
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    parser.add_argument("--engine", choices=("auto", "token", "libclang"),
+                        default="auto")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as JSONL")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--self-test", metavar="FIXTURE_DIR",
+                        help="run the fixture corpus and verify each rule "
+                             "fires exactly where expected")
+    args = parser.parse_args(argv)
+
+    repo_root = Path(args.root) if args.root else Path(__file__).resolve().parent.parent
+
+    if args.list_rules:
+        for rule in RULES.values():
+            print(f"{rule.name:20} {rule.summary}")
+        for name in META_RULES:
+            print(f"{name:20} (meta) malformed/unreasoned SFS_LINT_ALLOW")
+        return 0
+
+    if args.self_test:
+        return run_self_test(repo_root, Path(args.self_test), args.engine)
+
+    if not args.all and not args.files:
+        parser.print_usage(sys.stderr)
+        print("sfs_lint: pass --all or explicit files", file=sys.stderr)
+        return 2
+    if args.all and args.files:
+        print("sfs_lint: --all and explicit files are mutually exclusive",
+              file=sys.stderr)
+        return 2
+
+    files = collect_files(repo_root, args.files)
+    return run_lint(repo_root, files, args.engine, args.json)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,8 +1,8 @@
 #include "search/policy.hpp"
 
-#include <stdexcept>
 #include <utility>
 
+#include "base/check.hpp"
 #include "search/simulate.hpp"
 #include "search/strong_algorithms.hpp"
 #include "search/weak_algorithms.hpp"
@@ -14,25 +14,17 @@ std::string_view model_name(KnowledgeModel model) noexcept {
 }
 
 void PolicyRegistry::add(PolicySpec spec) {
-  if (spec.name.empty()) {
-    throw std::invalid_argument("policy registration: empty name");
-  }
+  SFS_REQUIRE(!spec.name.empty(), "policy registration: empty name");
   const bool weak = spec.model == KnowledgeModel::kWeak;
-  if (weak && (!spec.make_weak || spec.make_strong)) {
-    throw std::invalid_argument("policy registration: '" + spec.name +
-                                "' is tagged weak, so exactly make_weak "
-                                "must be set");
-  }
-  if (!weak && (!spec.make_strong || spec.make_weak)) {
-    throw std::invalid_argument("policy registration: '" + spec.name +
-                                "' is tagged strong, so exactly make_strong "
-                                "must be set");
-  }
+  SFS_REQUIRE(!weak || (spec.make_weak && !spec.make_strong),
+              "policy registration: '" + spec.name +
+                  "' is tagged weak, so exactly make_weak must be set");
+  SFS_REQUIRE(weak || (spec.make_strong && !spec.make_weak),
+              "policy registration: '" + spec.name +
+                  "' is tagged strong, so exactly make_strong must be set");
   for (const auto& existing : specs_) {
-    if (existing.name == spec.name) {
-      throw std::invalid_argument("policy registration: duplicate name '" +
-                                  spec.name + "'");
-    }
+    SFS_REQUIRE(existing.name != spec.name,
+                "policy registration: duplicate name '" + spec.name + "'");
   }
   specs_.push_back(std::move(spec));
 }
@@ -74,33 +66,25 @@ std::vector<const PolicySpec*> resolve_policies(
   const auto& registry = PolicyRegistry::instance();
   if (names.empty()) {
     auto out = registry.all(model);
-    if (out.empty()) {
-      throw std::invalid_argument(
-          std::string("no registered policies for the ") +
-          std::string(model_name(model)) + " model");
-    }
+    SFS_REQUIRE(!out.empty(), std::string("no registered policies for the ") +
+                                  std::string(model_name(model)) + " model");
     return out;
   }
   std::vector<const PolicySpec*> out;
   out.reserve(names.size());
   for (const auto& name : names) {
     const PolicySpec* spec = registry.find(name);
-    if (spec == nullptr) {
-      throw std::invalid_argument(
-          "unknown policy '" + name +
-          "' (see sfsearch_cli policies for the registry)");
-    }
-    if (spec->model != model) {
-      throw std::invalid_argument(
-          "policy '" + name + "' is a " + std::string(model_name(spec->model)) +
-          "-model policy, but the run requests the " +
-          std::string(model_name(model)) + " model");
-    }
+    SFS_REQUIRE(spec != nullptr,
+                "unknown policy '" + name +
+                    "' (see sfsearch_cli policies for the registry)");
+    SFS_REQUIRE(spec->model == model,
+                "policy '" + name + "' is a " +
+                    std::string(model_name(spec->model)) +
+                    "-model policy, but the run requests the " +
+                    std::string(model_name(model)) + " model");
     for (const auto* seen : out) {
-      if (seen == spec) {
-        throw std::invalid_argument("policy '" + name +
-                                    "' selected more than once");
-      }
+      SFS_REQUIRE(seen != spec,
+                  "policy '" + name + "' selected more than once");
     }
     out.push_back(spec);
   }
@@ -112,10 +96,8 @@ std::vector<std::unique_ptr<WeakSearcher>> make_weak_searchers(
   std::vector<std::unique_ptr<WeakSearcher>> out;
   out.reserve(specs.size());
   for (const auto* spec : specs) {
-    if (spec->model != KnowledgeModel::kWeak || !spec->make_weak) {
-      throw std::invalid_argument("policy '" + spec->name +
-                                  "' is not a weak-model policy");
-    }
+    SFS_REQUIRE(spec->model == KnowledgeModel::kWeak && spec->make_weak,
+                "policy '" + spec->name + "' is not a weak-model policy");
     out.push_back(spec->make_weak());
   }
   return out;
@@ -126,10 +108,8 @@ std::vector<std::unique_ptr<StrongSearcher>> make_strong_searchers(
   std::vector<std::unique_ptr<StrongSearcher>> out;
   out.reserve(specs.size());
   for (const auto* spec : specs) {
-    if (spec->model != KnowledgeModel::kStrong || !spec->make_strong) {
-      throw std::invalid_argument("policy '" + spec->name +
-                                  "' is not a strong-model policy");
-    }
+    SFS_REQUIRE(spec->model == KnowledgeModel::kStrong && spec->make_strong,
+                "policy '" + spec->name + "' is not a strong-model policy");
     out.push_back(spec->make_strong());
   }
   return out;

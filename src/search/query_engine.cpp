@@ -50,11 +50,9 @@ struct QueryEngine::Session {
 
 void QueryEngine::bind_policy(std::string_view policy) {
   spec_ = PolicyRegistry::instance().find(policy);
-  if (spec_ == nullptr) {
-    throw std::invalid_argument(
-        "QueryEngine: unknown policy '" + std::string(policy) +
-        "' (see sfsearch_cli policies for the registry)");
-  }
+  SFS_REQUIRE(spec_ != nullptr,
+              "QueryEngine: unknown policy '" + std::string(policy) +
+                  "' (see sfsearch_cli policies for the registry)");
 }
 
 QueryEngine::QueryEngine(const graph::Graph& g, std::string_view policy,

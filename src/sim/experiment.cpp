@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <charconv>
 #include <iostream>
-#include <stdexcept>
 
+#include "base/check.hpp"
 #include "rng/random.hpp"
 #include "rng/stream_audit.hpp"
 #include "sim/table.hpp"
@@ -163,25 +163,18 @@ std::uint64_t ExperimentContext::stream_seed(std::string_view stream) const {
 }
 
 void ExperimentRegistry::add(ExperimentSpec spec) {
-  if (spec.name.empty()) {
-    throw std::invalid_argument("experiment registration: empty name");
-  }
-  if (!spec.run) {
-    throw std::invalid_argument("experiment registration: '" + spec.name +
-                                "' has no run function");
-  }
+  SFS_REQUIRE(!spec.name.empty(), "experiment registration: empty name");
+  SFS_REQUIRE(spec.run, "experiment registration: '" + spec.name +
+                            "' has no run function");
   const std::uint64_t seed = spec.resolved_default_seed();
   for (const auto& existing : specs_) {
-    if (existing.name == spec.name) {
-      throw std::invalid_argument("experiment registration: duplicate name '" +
-                                  spec.name + "'");
-    }
-    if (existing.resolved_default_seed() == seed) {
-      throw std::invalid_argument(
-          "experiment registration: '" + spec.name +
-          "' resolves to the same default seed as '" + existing.name +
-          "' — seeds must not collide (use distinct names / pinned seeds)");
-    }
+    SFS_REQUIRE(existing.name != spec.name,
+                "experiment registration: duplicate name '" + spec.name + "'");
+    SFS_REQUIRE(
+        existing.resolved_default_seed() != seed,
+        "experiment registration: '" + spec.name +
+            "' resolves to the same default seed as '" + existing.name +
+            "' — seeds must not collide (use distinct names / pinned seeds)");
   }
   specs_.push_back(std::move(spec));
 }

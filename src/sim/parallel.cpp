@@ -115,6 +115,7 @@ ThreadPool::ThreadPool(std::size_t workers) : impl_(new Impl) {
     // that did start before letting the exception propagate.
     impl_->shutdown();
     delete impl_;
+    // SFS_LINT_ALLOW(check-discipline): bare rethrow after cleanup must re-propagate the original exception, which no SFS_* macro can do
     throw;
   }
 }

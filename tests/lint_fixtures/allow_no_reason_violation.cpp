@@ -1,0 +1,9 @@
+// SFS_LINT_FIXTURE_PATH: src/graph/fixture_allow_bad.cpp
+// Fixture: SFS_LINT_ALLOW without a reason is rejected (allow-no-reason)
+// and suppresses nothing — the underlying violation still fires.
+#include <stdexcept>
+
+void fixture() {
+  // SFS_LINT_ALLOW(check-discipline)
+  throw std::runtime_error("not actually suppressed");
+}

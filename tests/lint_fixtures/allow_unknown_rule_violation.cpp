@@ -1,0 +1,9 @@
+// SFS_LINT_FIXTURE_PATH: src/graph/fixture_allow_unknown.cpp
+// Fixture: SFS_LINT_ALLOW naming a rule that does not exist is rejected
+// (allow-unknown-rule) and suppresses nothing.
+#include <stdexcept>
+
+void fixture() {
+  // SFS_LINT_ALLOW(no-such-rule): typo'd rule name
+  throw std::runtime_error("not actually suppressed");
+}

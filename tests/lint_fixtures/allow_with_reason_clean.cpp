@@ -1,0 +1,10 @@
+// SFS_LINT_FIXTURE_PATH: src/graph/fixture_allow_good.cpp
+// Fixture: a reasoned SFS_LINT_ALLOW suppresses exactly its rule on the
+// annotated line (trailing) or the line below (standalone).
+#include <stdexcept>
+
+void fixture(bool tail) {
+  // SFS_LINT_ALLOW(check-discipline): fixture demonstrating the standalone-annotation form
+  if (tail) throw std::runtime_error("suppressed by the line above");
+  throw std::runtime_error("suppressed trailing");  // SFS_LINT_ALLOW(check-discipline): fixture demonstrating the trailing form
+}

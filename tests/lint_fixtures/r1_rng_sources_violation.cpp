@@ -1,0 +1,19 @@
+// SFS_LINT_FIXTURE_PATH: src/sim/fixture_rng.cpp
+// Fixture: every class of forbidden entropy source fires rng-sources.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int fixture() {
+  std::mt19937 gen(42);
+  std::mt19937_64 gen64{7};
+  std::random_device rd;
+  std::default_random_engine eng;
+  int a = std::rand();
+  srand(7);
+  int b = rand();
+  std::uint64_t t = time(nullptr);
+  std::uint64_t seed = std::chrono::steady_clock::now().time_since_epoch().count();
+  return static_cast<int>(gen() + gen64() + rd() + eng() + a + b + t + seed);
+}

@@ -1,0 +1,9 @@
+// SFS_LINT_FIXTURE_PATH: src/rng/fixture_engine.cpp
+// Fixture: src/rng/ implements the RNG layer, so rng-sources does not
+// apply there (a reference engine for parity tests is legitimate).
+#include <random>
+
+unsigned fixture() {
+  std::mt19937 reference(99);
+  return reference();
+}

@@ -1,0 +1,8 @@
+// SFS_LINT_FIXTURE_PATH: bench/experiments/fixture_sweep.cpp
+// Fixture: raw derive_stream_seed outside src/rng/ fires raw-derive —
+// the call bypasses SFS_RNG_AUDIT collision coverage.
+#include "rng/random.hpp"
+
+std::uint64_t fixture(std::uint64_t seed, std::uint64_t rep) {
+  return sfs::rng::derive_stream_seed(seed, 0x9e37, rep);
+}

@@ -1,0 +1,13 @@
+// SFS_LINT_FIXTURE_PATH: src/graph/fixture_dedup.cpp
+// Fixture: iterating an unordered container is fine in a TU that never
+// touches the emitter surface — internal dedup order cannot reach a
+// committed artifact.
+#include <cstdint>
+#include <unordered_set>
+
+std::uint64_t fixture() {
+  std::unordered_set<std::uint64_t> seen{1, 2, 3};
+  std::uint64_t sum = 0;
+  for (const auto v : seen) sum += v;
+  return sum;
+}

@@ -1,0 +1,23 @@
+// SFS_LINT_FIXTURE_PATH: src/sim/fixture_emit_clean.cpp
+// Fixture: an emitter TU may *use* an unordered container for lookups
+// (find/count/operator[]); only iteration leaks hash order. Emission
+// walks a sorted std::map instead.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "sim/report.hpp"
+
+void fixture(sfs::sim::ResultsEmitter& emitter) {
+  std::unordered_map<std::string, double> cache;
+  cache["bfs"] = 1.0;
+  if (cache.find("bfs") != cache.end() && cache.count("dfs") == 0) {
+    std::map<std::string, double> ordered(cache.find("bfs"), cache.end());
+  }
+  std::map<std::string, double> by_policy;
+  by_policy["bfs"] = cache["bfs"];
+  for (const auto& [name, cost] : by_policy) {
+    emitter.emit_object("{\"policy\":\"" + name + "\"}");
+    (void)cost;
+  }
+}

@@ -1,0 +1,20 @@
+// SFS_LINT_FIXTURE_PATH: src/sim/fixture_emit.cpp
+// Fixture: this TU touches the emitter surface, so iterating an
+// unordered container fires unordered-emission (hash order would leak
+// into committed BENCH_JSON artifacts).
+#include <string>
+#include <unordered_map>
+
+#include "sim/report.hpp"
+
+void fixture(sfs::sim::ResultsEmitter& emitter) {
+  std::unordered_map<std::string, double> by_policy;
+  by_policy["bfs"] = 1.0;
+  for (const auto& [name, cost] : by_policy) {
+    emitter.emit_object("{\"policy\":\"" + name + "\"}");
+    (void)cost;
+  }
+  for (auto it = by_policy.begin(); it != by_policy.end(); ++it) {
+    (void)it;
+  }
+}

@@ -1,0 +1,12 @@
+// SFS_LINT_FIXTURE_PATH: bench/experiments/fixture_portfolio.cpp
+// Fixture: call-expression use of the legacy compat surface fires
+// legacy-api outside the three pinned files.
+#include "sim/sweep.hpp"
+
+void fixture() {
+  // A comment mentioning measure_weak_portfolio does not fire.
+  const char* decoy = "measure_strong_portfolio(";
+  (void)decoy;
+  auto cost = sfs::sim::measure_weak_portfolio(nullptr, {}, 0, 0, {});
+  (void)cost;
+}

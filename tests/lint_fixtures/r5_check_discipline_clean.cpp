@@ -1,0 +1,13 @@
+// SFS_LINT_FIXTURE_PATH: src/graph/fixture_checks_clean.cpp
+// Fixture: the sanctioned forms — SFS_REQUIRE for preconditions,
+// SFS_CHECK for invariants. The word throw in comments/strings is inert.
+#include <string>
+
+#include "base/check.hpp"
+
+void fixture(int n) {
+  SFS_REQUIRE(n >= 0, "n must be non-negative");
+  // SFS_REQUIRE will throw std::invalid_argument on violation.
+  const std::string decoy = "throw assert(";
+  SFS_CHECK(decoy.size() > 0, "invariant");
+}

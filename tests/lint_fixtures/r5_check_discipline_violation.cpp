@@ -1,0 +1,13 @@
+// SFS_LINT_FIXTURE_PATH: src/graph/fixture_checks.cpp
+// Fixture: raw throw and release-compiled-out assert in src/ fire
+// check-discipline; static_assert is compile-time and does not.
+#include <cassert>
+#include <stdexcept>
+
+void fixture(int n) {
+  static_assert(sizeof(int) >= 4, "compile-time checks are fine");
+  assert(n >= 0);
+  if (n == 0) {
+    throw std::invalid_argument("use SFS_REQUIRE instead");
+  }
+}

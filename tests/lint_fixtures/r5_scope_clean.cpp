@@ -1,0 +1,8 @@
+// SFS_LINT_FIXTURE_PATH: tests/fixture_gtest.cpp
+// Fixture: check-discipline is scoped to src/ — tests may throw freely
+// (EXPECT_THROW scaffolding, forced failure paths).
+#include <stdexcept>
+
+void fixture() {
+  throw std::runtime_error("fine outside src/");
+}

@@ -92,9 +92,9 @@ INSTANTIATE_TEST_SUITE_P(
     Grid, ModelPolicyProperty,
     ::testing::Combine(::testing::ValuesIn(kModels),
                        ::testing::Range<std::size_t>(0, 10)),
-    [](const ::testing::TestParamInfo<Combo>& info) {
-      return model_name(std::get<0>(info.param)) + "_policy" +
-             std::to_string(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<Combo>& param_info) {
+      return model_name(std::get<0>(param_info.param)) + "_policy" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 class ModelStructureProperty : public ::testing::TestWithParam<Model> {};
@@ -126,8 +126,8 @@ TEST_P(ModelStructureProperty, DeterministicAcrossRuns) {
 
 INSTANTIATE_TEST_SUITE_P(Models, ModelStructureProperty,
                          ::testing::ValuesIn(kModels),
-                         [](const ::testing::TestParamInfo<Model>& info) {
-                           return model_name(info.param);
+                         [](const ::testing::TestParamInfo<Model>& param_info) {
+                           return model_name(param_info.param);
                          });
 
 }  // namespace

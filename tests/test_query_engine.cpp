@@ -162,6 +162,7 @@ TEST(QueryEngine, LegacyStreamPlanReproducesPreVersioningStreams) {
   const auto results = engine.run_batch(queries);
   const std::uint64_t tag = sfs::rng::mix64(0x10e57ULL);
   for (std::size_t i = 0; i < queries.size(); ++i) {
+    // SFS_LINT_ALLOW(raw-derive): replays the frozen kLegacy per-query stream by hand
     sfs::rng::Rng rng(sfs::rng::derive_stream_seed(options.seed, tag, i));
     sfs::search::BfsWeak searcher;
     sfs::search::SearchWorkspace ws;

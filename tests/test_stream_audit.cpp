@@ -37,6 +37,7 @@ TEST_F(StreamAuditTest, RecordsDistinctDerivations) {
   const std::uint64_t a = audited_stream_seed(1, 0, 0);
   const std::uint64_t b = audited_stream_seed(1, 0, 1);
   const std::uint64_t c = audited_stream_seed(2, 7, 0);
+  // SFS_LINT_ALLOW(raw-derive): asserts audited_stream_seed delegates to the raw derivation
   EXPECT_EQ(a, sfs::rng::derive_stream_seed(1, 0, 0));
   EXPECT_NE(a, b);
   EXPECT_NE(a, c);

@@ -33,6 +33,7 @@ TEST(StreamPlan, LegacyMatchesDeriveStreamSeedExactly) {
       const StreamPlan plan(seed, tag, StreamPlanVersion::kLegacy);
       for (std::uint64_t index = 0; index < 16; ++index) {
         EXPECT_EQ(plan.stream_seed(index),
+                  // SFS_LINT_ALLOW(raw-derive): pins kLegacy plan == frozen raw derivation chain
                   sfs::rng::derive_stream_seed(seed, tag, index));
       }
     }
