@@ -1,0 +1,10 @@
+// Thin compatibility wrapper: delegates to the experiment registry
+// (equivalent to `sfs_bench --run m6_compression ...`). The experiment
+// itself lives in bench/experiments/; this binary exists so every
+// experiment family keeps a standalone entry point. All flags go through
+// the shared parser — unknown or unsupported flags exit 2 with usage.
+#include "sim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  return sfs::sim::experiment_main_for("m6_compression", argc, argv);
+}

@@ -38,6 +38,7 @@ capture() {
 
 capture m2 BENCH_m2.json
 capture m5_query_engine BENCH_m5.json
+capture m6_compression BENCH_m6.json
 
 echo "done. Review the diffs and commit the refreshed baselines:"
-echo "  git diff --stat BENCH_m2.json BENCH_m5.json"
+echo "  git diff --stat BENCH_m2.json BENCH_m5.json BENCH_m6.json"

@@ -2,13 +2,14 @@
 """Baseline guard for the committed BENCH_*.json perf artifacts.
 
 Usage:
-  check_baselines.py FRESH_M2.json FRESH_M5.json     full check
+  check_baselines.py FRESH_M2.json FRESH_M5.json FRESH_M6.json
+                                                     full check
   check_baselines.py --schema-only FILE --bench B    schema-check one file
   check_baselines.py --print-schema BENCH            list required keys
   check_baselines.py --self-test                     exercise the checker
 
 The full check compares fresh --quick captures against the committed
-BENCH_m2.json / BENCH_m5.json at the repo root:
+BENCH_m2.json / BENCH_m5.json / BENCH_m6.json at the repo root:
 
   1. SCHEMA — the fresh captures are non-empty JSONL with the required
      keys per record (an emitter regression that silently produces empty
@@ -70,7 +71,21 @@ BENCH_SCHEMA = {
             "bit_identical", "stream_plan", "interleave",
         },
     },
+    "m6_compression": {
+        "committed": "BENCH_m6.json",
+        "key": "case",
+        "metric": "decode_mslots_per_s",
+        "required": {
+            "bench", "case", "n", "edges", "graph_bytes",
+            "compressed_bytes", "ratio", "decode_mslots_per_s",
+            "bit_identical",
+        },
+    },
 }
+
+# The full check's positional capture order (and the committed files it
+# compares them against).
+FULL_CHECK_ORDER = ("m2", "m5_query_engine", "m6_compression")
 
 
 class Failures:
@@ -171,6 +186,10 @@ GOOD_M5 = {"bench": "m5_query_engine", "policy": "bfs", "model": "weak",
            "speedup": 1.8, "mean_requests": 10.0, "found_frac": 1.0,
            "bit_identical": True, "stream_plan": "kCounter",
            "interleave": 1}
+GOOD_M6 = {"bench": "m6_compression", "case": "varint", "n": 65536,
+           "edges": 65535, "graph_bytes": 2621424.0,
+           "compressed_bytes": 468554.0, "ratio": 5.59,
+           "decode_mslots_per_s": 7.5, "bit_identical": True}
 
 
 def _write_jsonl(path, records):
@@ -182,8 +201,9 @@ def self_test():
     plus the schema > missing-case > regression precedence."""
     cases = []
 
-    def case(name, fresh_m2, fresh_m5, want):
-        cases.append((name, fresh_m2, fresh_m5, want))
+    def case(name, fresh_m2, fresh_m5, want, fresh_m6=None):
+        fresh_m6 = [GOOD_M6] if fresh_m6 is None else fresh_m6
+        cases.append((name, fresh_m2, fresh_m5, fresh_m6, want))
 
     case("all-good", [GOOD_M2], [GOOD_M5], EXIT_OK)
     case("empty-fresh", [], [GOOD_M5], EXIT_SCHEMA)
@@ -206,20 +226,31 @@ def self_test():
          [dict(GOOD_M2, items_per_second=100.0),
           dict(GOOD_M2, case="extra/1")],
          [dict(GOOD_M5, policy="renamed")], EXIT_MISSING_CASE)
+    # m6 is guarded by the same machinery: a lossy codec (bit_identical
+    # false) is a schema failure, a decode-rate collapse a regression.
+    case("m6-lossy-codec", [GOOD_M2], [GOOD_M5], EXIT_SCHEMA,
+         fresh_m6=[dict(GOOD_M6, bit_identical=False)])
+    case("m6-missing-codec", [GOOD_M2], [GOOD_M5], EXIT_MISSING_CASE,
+         fresh_m6=[dict(GOOD_M6, case="renamed")])
+    case("m6-decode-regression", [GOOD_M2], [GOOD_M5], EXIT_REGRESSION,
+         fresh_m6=[dict(GOOD_M6, decode_mslots_per_s=1.0)])
 
     failed = 0
     with tempfile.TemporaryDirectory() as tmp:
         tmpdir = pathlib.Path(tmp)
-        for name, m2, m5, want in cases:
+        for name, m2, m5, m6, want in cases:
             root = tmpdir / name
             root.mkdir()
             _write_jsonl(root / "BENCH_m2.json", [GOOD_M2])
             _write_jsonl(root / "BENCH_m5.json", [GOOD_M5])
+            _write_jsonl(root / "BENCH_m6.json", [GOOD_M6])
             _write_jsonl(root / "fresh_m2.json", m2)
             _write_jsonl(root / "fresh_m5.json", m5)
+            _write_jsonl(root / "fresh_m6.json", m6)
             failures = Failures()
             check("m2", root / "fresh_m2.json", root, failures)
             check("m5_query_engine", root / "fresh_m5.json", root, failures)
+            check("m6_compression", root / "fresh_m6.json", root, failures)
             got = failures.exit_code()
             if got == want:
                 print(f"ok   {name}: exit {got}")
@@ -264,7 +295,7 @@ def main(argv):
                "5 regression")
     parser.add_argument("fresh", nargs="*", metavar="FRESH.json",
                         help="fresh captures, in order: FRESH_M2.json "
-                             "FRESH_M5.json")
+                             "FRESH_M5.json FRESH_M6.json")
     parser.add_argument("--repo-root", default=None,
                         help="directory holding the committed baselines "
                              "(default: parent of this script)")
@@ -303,9 +334,9 @@ def main(argv):
         print(f"schema OK: {path} [{args.bench}]")
         return EXIT_OK
 
-    if len(args.fresh) != 2:
-        parser.error("expected exactly two captures: FRESH_M2.json "
-                     "FRESH_M5.json")
+    if len(args.fresh) != len(FULL_CHECK_ORDER):
+        parser.error("expected exactly three captures: FRESH_M2.json "
+                     "FRESH_M5.json FRESH_M6.json")
     repo_root = (pathlib.Path(args.repo_root) if args.repo_root else
                  pathlib.Path(__file__).resolve().parent.parent)
     for p in args.fresh:
@@ -314,8 +345,8 @@ def main(argv):
             return EXIT_USAGE
 
     failures = Failures()
-    check("m2", pathlib.Path(args.fresh[0]), repo_root, failures)
-    check("m5_query_engine", pathlib.Path(args.fresh[1]), repo_root, failures)
+    for bench, fresh in zip(FULL_CHECK_ORDER, args.fresh):
+        check(bench, pathlib.Path(fresh), repo_root, failures)
     if not failures.empty():
         print("baseline check FAILED:")
         failures.report()

@@ -1,0 +1,460 @@
+#include "graph/compressed.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+
+#include "base/check.hpp"
+#include "graph/builder.hpp"
+
+namespace sfs::graph {
+
+namespace {
+
+// ------------------------------------------------------ varint primitives
+
+void append_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t read_varint(const std::uint8_t*& p, const std::uint8_t* end) {
+  std::uint64_t v = 0;
+  unsigned shift = 0;
+  for (;;) {
+    SFS_CHECK(p != end, "compressed stream: truncated varint");
+    const std::uint8_t b = *p++;
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+std::uint64_t zigzag(std::int64_t x) {
+  return (static_cast<std::uint64_t>(x) << 1) ^
+         static_cast<std::uint64_t>(x >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+// -------------------------------------------------- bit-packing (bytes)
+// Per-row Elias-Fano payloads are byte-aligned so rows stay independently
+// addressable through row_offsets without global bit arithmetic.
+
+void pack_bits(std::uint8_t* base, std::size_t bit_pos, std::uint64_t value,
+               unsigned width) {
+  std::size_t byte = bit_pos >> 3;
+  unsigned off = bit_pos & 7u;
+  while (width > 0) {
+    base[byte] |= static_cast<std::uint8_t>(value << off);
+    const unsigned wrote = std::min(8u - off, width);
+    value >>= wrote;
+    width -= wrote;
+    off = 0;
+    ++byte;
+  }
+}
+
+std::uint64_t unpack_bits(const std::uint8_t* base, std::size_t bit_pos,
+                          unsigned width) {
+  if (width == 0) return 0;
+  std::size_t byte = bit_pos >> 3;
+  unsigned off = bit_pos & 7u;
+  std::uint64_t value = 0;
+  unsigned got = 0;
+  while (got < width) {
+    value |= static_cast<std::uint64_t>(base[byte] >> off) << got;
+    got += 8u - off;
+    off = 0;
+    ++byte;
+  }
+  return value & ((1ULL << width) - 1);
+}
+
+// ------------------------------------------------- word-level bit reading
+
+std::uint64_t get_word_bits(std::span<const std::uint64_t> words,
+                            std::size_t bit_pos, unsigned width) {
+  if (width == 0) return 0;
+  const std::size_t w = bit_pos >> 6;
+  const unsigned off = bit_pos & 63u;
+  std::uint64_t v = words[w] >> off;
+  if (off + width > 64) v |= words[w + 1] << (64u - off);
+  return v & ((1ULL << width) - 1);
+}
+
+/// Position of the k-th (0-indexed) set bit of `word`. Requires popcount
+/// of `word` > k.
+unsigned select_in_u64(std::uint64_t word, unsigned k) {
+  while (k--) word &= word - 1;
+  return static_cast<unsigned>(std::countr_zero(word));
+}
+
+/// `floor(log2(universe / count))`, the canonical Elias-Fano low-bit
+/// split, clamped to 0 for dense sequences.
+unsigned ef_low_bits(std::uint64_t universe, std::size_t count) {
+  if (count == 0) return 0;
+  const std::uint64_t ratio = universe / count;
+  return ratio == 0 ? 0u : static_cast<unsigned>(std::bit_width(ratio)) - 1u;
+}
+
+// ------------------------------------------------------- row codec bodies
+
+void encode_row_varint(std::vector<std::uint8_t>& out, VertexId v,
+                       std::span<const VertexId> slots) {
+  std::int64_t prev = static_cast<std::int64_t>(v);
+  for (const VertexId s : slots) {
+    append_varint(out, zigzag(static_cast<std::int64_t>(s) - prev));
+    prev = static_cast<std::int64_t>(s);
+  }
+}
+
+/// Per-row Elias-Fano blob:
+///   varint high_bits | byte l | low bytes | high bytes | deg rank varints
+/// The rank stream is a stable permutation (duplicates get increasing
+/// ranks in slot order) mapping the sorted sequence back to slot order, so
+/// the decode reproduces Graph::adjacent(v) exactly.
+void encode_row_elias_fano(std::vector<std::uint8_t>& out, VertexId /*v*/,
+                           std::span<const VertexId> slots,
+                           std::vector<std::uint32_t>& order_scratch,
+                           std::vector<std::uint32_t>& rank_scratch) {
+  const std::size_t deg = slots.size();
+  if (deg == 0) return;
+  order_scratch.resize(deg);
+  for (std::size_t k = 0; k < deg; ++k) {
+    order_scratch[k] = static_cast<std::uint32_t>(k);
+  }
+  std::stable_sort(order_scratch.begin(), order_scratch.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return slots[a] < slots[b];
+                   });
+  const std::uint64_t max_value = slots[order_scratch[deg - 1]];
+  const unsigned l = ef_low_bits(max_value, deg);
+  const std::uint64_t high_bits = deg + (max_value >> l) + 1;
+  append_varint(out, high_bits);
+  SFS_CHECK(l < 0x100, "row Elias-Fano low-bit width exceeds a byte");
+  out.push_back(static_cast<std::uint8_t>(l));
+
+  const std::size_t low_len = (deg * l + 7) / 8;
+  const std::size_t high_len = (static_cast<std::size_t>(high_bits) + 7) / 8;
+  const std::size_t low_begin = out.size();
+  out.resize(out.size() + low_len + high_len, 0);
+  std::uint8_t* low = out.data() + low_begin;
+  std::uint8_t* high = low + low_len;
+  for (std::size_t j = 0; j < deg; ++j) {
+    const std::uint64_t value = slots[order_scratch[j]];
+    if (l > 0) pack_bits(low, j * l, value & ((1ULL << l) - 1), l);
+    const std::size_t pos = static_cast<std::size_t>(value >> l) + j;
+    high[pos >> 3] |= static_cast<std::uint8_t>(1u << (pos & 7u));
+  }
+  // Rank stream: slot k holds sorted position rank[k]; order_scratch is
+  // the inverse permutation (rank[order_scratch[j]] == j).
+  rank_scratch.resize(deg);
+  for (std::size_t j = 0; j < deg; ++j) {
+    rank_scratch[order_scratch[j]] = static_cast<std::uint32_t>(j);
+  }
+  for (std::size_t k = 0; k < deg; ++k) append_varint(out, rank_scratch[k]);
+}
+
+void decode_row_varint(const std::uint8_t* p, const std::uint8_t* end,
+                       VertexId v, std::size_t deg, VertexId* out) {
+  std::int64_t prev = static_cast<std::int64_t>(v);
+  for (std::size_t k = 0; k < deg; ++k) {
+    prev += unzigzag(read_varint(p, end));
+    out[k] = static_cast<VertexId>(prev);
+  }
+  SFS_CHECK(p == end, "compressed row: varint decode did not consume the row");
+}
+
+void decode_row_elias_fano(const std::uint8_t* p, const std::uint8_t* end,
+                           std::size_t deg, VertexId* out,
+                           std::vector<VertexId>& sorted_scratch) {
+  const std::uint64_t high_bits = read_varint(p, end);
+  SFS_CHECK(p != end, "compressed row: missing low-bit width byte");
+  const unsigned l = *p++;
+  const std::size_t low_len = (deg * l + 7) / 8;
+  const std::size_t high_len = (static_cast<std::size_t>(high_bits) + 7) / 8;
+  SFS_CHECK(static_cast<std::size_t>(end - p) >= low_len + high_len,
+            "compressed row: payload shorter than declared");
+  const std::uint8_t* low = p;
+  const std::uint8_t* high = p + low_len;
+  p += low_len + high_len;
+
+  if (sorted_scratch.size() < deg) sorted_scratch.resize(deg);
+  std::size_t ones = 0;
+  for (std::size_t byte_i = 0; ones < deg; ++byte_i) {
+    SFS_CHECK(byte_i < high_len, "compressed row: high bitmap exhausted");
+    unsigned b = high[byte_i];
+    while (b != 0 && ones < deg) {
+      const unsigned t = static_cast<unsigned>(std::countr_zero(b));
+      b &= b - 1;
+      const std::size_t pos = byte_i * 8 + t;
+      const std::uint64_t hi_value = pos - ones;
+      sorted_scratch[ones] = static_cast<VertexId>(
+          (hi_value << l) | unpack_bits(low, ones * l, l));
+      ++ones;
+    }
+  }
+  for (std::size_t k = 0; k < deg; ++k) {
+    const std::uint64_t r = read_varint(p, end);
+    SFS_CHECK(r < deg, "compressed row: rank out of range");
+    out[k] = sorted_scratch[static_cast<std::size_t>(r)];
+  }
+  SFS_CHECK(p == end,
+            "compressed row: Elias-Fano decode did not consume the row");
+}
+
+}  // namespace
+
+// --------------------------------------------------------- EliasFanoView
+
+std::uint64_t EliasFanoView::get(std::size_t i) const {
+  SFS_REQUIRE(i < count, "Elias-Fano index out of range");
+  // select1(i) over the high bitmap, starting from the nearest sample.
+  std::size_t word_idx = 0;
+  std::size_t need = i;
+  std::uint64_t word = 0;
+  if (!samples.empty()) {
+    const std::size_t j = i / kEfSampleRate;
+    const std::uint64_t sample_pos = samples[j];
+    word_idx = static_cast<std::size_t>(sample_pos >> 6);
+    word = high_words[word_idx] &
+           (~0ULL << static_cast<unsigned>(sample_pos & 63u));
+    need = i - j * kEfSampleRate;
+  } else {
+    word = high_words.empty() ? 0 : high_words[0];
+  }
+  for (;;) {
+    const unsigned pc = static_cast<unsigned>(std::popcount(word));
+    if (need < pc) break;
+    need -= pc;
+    ++word_idx;
+    word = high_words[word_idx];
+  }
+  const std::uint64_t select_pos =
+      (static_cast<std::uint64_t>(word_idx) << 6) +
+      select_in_u64(word, static_cast<unsigned>(need));
+  const std::uint64_t high = select_pos - i;
+  return (high << low_bits) |
+         get_word_bits(low_words, static_cast<std::size_t>(i) * low_bits,
+                       low_bits);
+}
+
+// ----------------------------------------------------- EliasFanoSequence
+
+EliasFanoSequence EliasFanoSequence::encode(
+    std::span<const std::uint64_t> values) {
+  EliasFanoSequence seq;
+  seq.count_ = values.size();
+  if (values.empty()) return seq;
+  seq.universe_ = values.back();
+  seq.low_bits_ = ef_low_bits(seq.universe_, seq.count_);
+  const unsigned l = seq.low_bits_;
+
+  const std::size_t low_total_bits = values.size() * l;
+  seq.low_words_.assign((low_total_bits + 63) / 64, 0);
+  const std::uint64_t high_bits =
+      values.size() + (seq.universe_ >> l) + 1;
+  seq.high_words_.assign(static_cast<std::size_t>((high_bits + 63) / 64), 0);
+  seq.samples_.reserve(values.size() / kEfSampleRate + 1);
+
+  std::uint64_t prev = 0;
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    const std::uint64_t v = values[k];
+    SFS_REQUIRE(v >= prev, "Elias-Fano input must be non-decreasing");
+    prev = v;
+    if (l > 0) {
+      const std::size_t bit_pos = k * l;
+      const std::uint64_t low = v & ((1ULL << l) - 1);
+      const std::size_t w = bit_pos >> 6;
+      const unsigned off = bit_pos & 63u;
+      seq.low_words_[w] |= low << off;
+      if (off + l > 64) seq.low_words_[w + 1] |= low >> (64u - off);
+    }
+    const std::uint64_t pos = (v >> l) + k;
+    seq.high_words_[pos >> 6] |= 1ULL << (pos & 63u);
+    if (k % kEfSampleRate == 0) seq.samples_.push_back(pos);
+  }
+  return seq;
+}
+
+// ------------------------------------------------------------ decode API
+
+const char* row_codec_name(RowCodec codec) noexcept {
+  switch (codec) {
+    case RowCodec::kVarint:
+      return "varint";
+    case RowCodec::kEliasFano:
+      return "elias_fano";
+  }
+  return "unknown";
+}
+
+std::size_t decoded_degree(const CompressedView& view, VertexId v) {
+  SFS_REQUIRE(v < view.num_vertices, "vertex id out of range");
+  return static_cast<std::size_t>(view.degree_offsets.get(v + 1) -
+                                  view.degree_offsets.get(v));
+}
+
+std::span<const VertexId> decode_adjacent(const CompressedView& view,
+                                          VertexId v,
+                                          AdjacencyDecodeBuffer& buffer) {
+  SFS_REQUIRE(v < view.num_vertices, "vertex id out of range");
+  const std::size_t deg = decoded_degree(view, v);
+  if (buffer.slots.size() < deg) buffer.slots.resize(deg);
+  const std::size_t row_begin =
+      static_cast<std::size_t>(view.row_offsets.get(v));
+  const std::size_t row_end =
+      static_cast<std::size_t>(view.row_offsets.get(v + 1));
+  SFS_CHECK(row_begin <= row_end && row_end <= view.adj_stream.size(),
+            "compressed row: byte range out of bounds");
+  const std::uint8_t* p = view.adj_stream.data() + row_begin;
+  const std::uint8_t* end = view.adj_stream.data() + row_end;
+  if (deg == 0) {
+    SFS_CHECK(p == end, "compressed row: empty row has payload bytes");
+    return {buffer.slots.data(), 0};
+  }
+  switch (view.codec) {
+    case RowCodec::kVarint:
+      decode_row_varint(p, end, v, deg, buffer.slots.data());
+      break;
+    case RowCodec::kEliasFano:
+      decode_row_elias_fano(p, end, deg, buffer.slots.data(), buffer.sorted);
+      break;
+  }
+  return {buffer.slots.data(), deg};
+}
+
+Graph decompress(const CompressedView& view) {
+  const std::size_t n = view.num_vertices;
+  const std::size_t m = view.num_edges;
+  validate_edge_capacity(m);
+
+  // Materialize the degree offsets once, decode every row into one flat
+  // 2m-slot array, then replay the tail stream against per-row cursors:
+  // edge e's slot in its tail row is always the next unconsumed one
+  // (incidence rows are ordered by edge id), which yields the head; the
+  // matching head-row slot is consumed to keep the cursors aligned.
+  std::vector<std::size_t> offsets(n + 1);
+  for (std::size_t v = 0; v <= n; ++v) {
+    offsets[v] = static_cast<std::size_t>(view.degree_offsets.get(v));
+  }
+  SFS_CHECK(offsets[n] == 2 * m,
+            "compressed graph: degree offsets disagree with edge count");
+
+  std::vector<VertexId> adj(2 * m);
+  AdjacencyDecodeBuffer buffer;
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto row =
+        decode_adjacent(view, static_cast<VertexId>(v), buffer);
+    std::copy(row.begin(), row.end(), adj.begin() + offsets[v]);
+  }
+
+  std::vector<std::size_t> cursor(offsets.begin(), offsets.begin() + n);
+  GraphBuilder builder(n);
+  builder.reserve_edges(m);
+  const std::uint8_t* p = view.tail_stream.data();
+  const std::uint8_t* end = p + view.tail_stream.size();
+  std::int64_t prev = 0;
+  for (std::size_t e = 0; e < m; ++e) {
+    prev += unzigzag(read_varint(p, end));
+    SFS_CHECK(prev >= 0 && static_cast<std::size_t>(prev) < n,
+              "compressed graph: tail id out of range");
+    const VertexId tail = static_cast<VertexId>(prev);
+    SFS_CHECK(cursor[tail] < offsets[tail + 1],
+              "compressed graph: tail row exhausted during replay");
+    const VertexId head = adj[cursor[tail]++];
+    if (head == tail) {
+      // A self-loop occupies two consecutive slots of its vertex's row.
+      SFS_CHECK(cursor[tail] < offsets[tail + 1] && adj[cursor[tail]] == tail,
+                "compressed graph: broken self-loop slot pair");
+      ++cursor[tail];
+    } else {
+      SFS_CHECK(cursor[head] < offsets[head + 1] && adj[cursor[head]] == tail,
+                "compressed graph: head row disagrees with tail stream");
+      ++cursor[head];
+    }
+    builder.add_edge(tail, head);
+  }
+  SFS_CHECK(p == end, "compressed graph: tail stream not fully consumed");
+  for (std::size_t v = 0; v < n; ++v) {
+    SFS_CHECK(cursor[v] == offsets[v + 1],
+              "compressed graph: unconsumed incidence slots after replay");
+  }
+  return builder.build();
+}
+
+// ------------------------------------------------------- CompressedGraph
+
+CompressedGraph CompressedGraph::from_graph(const Graph& g, RowCodec codec) {
+  CompressedGraph c;
+  c.n_ = g.num_vertices();
+  c.m_ = g.num_edges();
+  c.codec_ = codec;
+
+  c.tail_stream_.reserve(c.m_ + c.m_ / 8);
+  std::int64_t prev = 0;
+  for (const Edge& e : g.edges()) {
+    append_varint(c.tail_stream_,
+                  zigzag(static_cast<std::int64_t>(e.tail) - prev));
+    prev = static_cast<std::int64_t>(e.tail);
+  }
+
+  std::vector<std::uint64_t> degree_offsets(c.n_ + 1);
+  degree_offsets[0] = 0;
+  for (std::size_t v = 0; v < c.n_; ++v) {
+    degree_offsets[v + 1] =
+        degree_offsets[v] + g.degree(static_cast<VertexId>(v));
+  }
+  c.degree_offsets_ = EliasFanoSequence::encode(degree_offsets);
+
+  std::vector<std::uint64_t> row_offsets(c.n_ + 1);
+  row_offsets[0] = 0;
+  c.adj_stream_.reserve(2 * c.m_ + c.m_ / 4);
+  std::vector<std::uint32_t> order_scratch;
+  std::vector<std::uint32_t> rank_scratch;
+  for (std::size_t v = 0; v < c.n_; ++v) {
+    const auto slots = g.adjacent(static_cast<VertexId>(v));
+    switch (codec) {
+      case RowCodec::kVarint:
+        encode_row_varint(c.adj_stream_, static_cast<VertexId>(v), slots);
+        break;
+      case RowCodec::kEliasFano:
+        encode_row_elias_fano(c.adj_stream_, static_cast<VertexId>(v), slots,
+                              order_scratch, rank_scratch);
+        break;
+    }
+    row_offsets[v + 1] = c.adj_stream_.size();
+  }
+  c.row_offsets_ = EliasFanoSequence::encode(row_offsets);
+  return c;
+}
+
+CompressedView CompressedGraph::view() const noexcept {
+  return {n_,          m_,          codec_,
+          tail_stream_, adj_stream_, degree_offsets_.view(),
+          row_offsets_.view()};
+}
+
+std::size_t CompressedGraph::memory_bytes() const noexcept {
+  return sizeof(*this) + tail_stream_.size() + adj_stream_.size() +
+         degree_offsets_.view().payload_bytes() +
+         row_offsets_.view().payload_bytes();
+}
+
+std::size_t graph_memory_bytes(const Graph& g) noexcept {
+  const std::size_t n = g.num_vertices();
+  const std::size_t m = g.num_edges();
+  return m * sizeof(Edge)                          // edge log
+         + (n != 0 ? n + 1 : 0) * sizeof(std::size_t)  // CSR offsets
+         + 2 * m * sizeof(EdgeId)                  // incidence payload
+         + 2 * m * sizeof(VertexId)                // far endpoint per slot
+         + 2 * n * sizeof(std::uint32_t);          // in/out degree vectors
+}
+
+}  // namespace sfs::graph

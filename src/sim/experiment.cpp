@@ -114,6 +114,7 @@ std::string flag_names(unsigned caps) {
   append(kCapSeed, "--seed");
   append(kCapThreads, "--threads");
   append(kCapPolicies, "--policies");
+  append(kCapShard, "--shard");
   append(kCapGbenchFlags, "--benchmark_*");
   if (!out.empty()) out += ' ';
   out += "--json";
@@ -292,6 +293,24 @@ bool parse_experiment_cli(const std::vector<std::string>& args,
                 value + "'";
         return false;
       }
+    } else if (arg == "--shard") {
+      if (!once(out.options.has_shard, arg)) return false;
+      if (!value_of(i, value)) return false;
+      const std::size_t slash = value.find('/');
+      std::size_t index = 0;
+      std::size_t count = 0;
+      if (slash == std::string::npos ||
+          !parse_size(value.substr(0, slash), index) ||
+          !parse_size(value.substr(slash + 1), count) || count == 0 ||
+          index >= count) {
+        error = "--shard expects i/k with 0 <= i < k (e.g. --shard 0/2), "
+                "got '" +
+                value + "'";
+        return false;
+      }
+      out.options.shard_index = index;
+      out.options.shard_count = count;
+      out.options.has_shard = true;
     } else if (arg == "--checkpoint") {
       if (!once(!out.options.checkpoint_path.empty(), arg)) return false;
       if (!value_of(i, out.options.checkpoint_path)) return false;
@@ -379,6 +398,24 @@ bool validate_experiment_options(const ExperimentSpec& spec,
             "--quick)";
     return false;
   }
+  if (options.has_shard) {
+    if (!(spec.caps & kCapShard)) return reject("--shard");
+    if (!options.large && !options.quick) {
+      error = "experiment '" + spec.name +
+              "': --shard applies to the grid modes (pass --large or "
+              "--quick)";
+      return false;
+    }
+    // A shard's only output is its checkpoint file; without one the
+    // computed cells would be discarded and the run would exit 0 having
+    // measured nothing durable.
+    if (options.checkpoint_path.empty()) {
+      error = "experiment '" + spec.name +
+              "': --shard requires --checkpoint <path> (the per-shard "
+              "checkpoint is the shard's output)";
+      return false;
+    }
+  }
   return true;
 }
 
@@ -390,7 +427,7 @@ void print_experiment_usage(std::ostream& out, const ExperimentSpec* spec) {
          "line\n"
          "  sfs_bench --run <name> [flags]   run one experiment\n"
          "flags: [--quick] [--large] [--sizes a,b,c | --n N] [--reps R]\n"
-         "       [--seed S] [--threads T] [--policies a,b,c]\n"
+         "       [--seed S] [--threads T] [--policies a,b,c] [--shard i/k]\n"
          "       [--checkpoint <path>] [--json <path>]\n";
   if (spec != nullptr) {
     out << "\nexperiment '" << spec->name << "': " << spec->title << "\n"

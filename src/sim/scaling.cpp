@@ -3,10 +3,12 @@
 #include <charconv>
 #include <cmath>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <string>
+#include <utility>
 
 #include "base/check.hpp"
 #include "rng/random.hpp"
@@ -278,16 +280,27 @@ void fit_series(ScalingSeries& series) {
   series.weighted_fit = stats::fit_power_law_weighted(xs, ys, ws);
 }
 
+// Shared cell runner for the full and sharded entry points: restores
+// checkpointed cells, enumerates the pending cells this shard owns in the
+// flattened (i * reps + r) task order, and measures them. The returned
+// series holds raw values only (no summaries/fit) — the unsharded path
+// folds it, the sharded path discards it (the checkpoint is the output).
 // Invoke: (n, cell_seed, worker) -> double, shared by the plain and
 // scratch-aware overloads.
 template <typename Invoke>
-ScalingSeries measure_scaling_impl(const std::vector<std::size_t>& sizes,
-                                   std::size_t reps, std::uint64_t seed,
-                                   const ScalingOptions& options,
-                                   const Invoke& invoke) {
+std::size_t run_scaling_cells(const std::vector<std::size_t>& sizes,
+                              std::size_t reps, std::uint64_t seed,
+                              const ScalingOptions& options,
+                              std::size_t shard_index,
+                              std::size_t shard_count, const Invoke& invoke,
+                              ScalingSeries& series) {
   SFS_REQUIRE(!sizes.empty(), "empty size sweep");
   SFS_REQUIRE(reps >= 1, "need at least one replication");
-  ScalingSeries series;
+  SFS_REQUIRE(shard_count >= 1, "need at least one shard");
+  SFS_REQUIRE(shard_index < shard_count,
+              "shard index " + std::to_string(shard_index) +
+                  " out of range for " + std::to_string(shard_count) +
+                  " shard(s)");
   series.points.resize(sizes.size());
   for (std::size_t i = 0; i < sizes.size(); ++i) {
     series.points[i].n = sizes[i];
@@ -305,10 +318,15 @@ ScalingSeries measure_scaling_impl(const std::vector<std::size_t>& sizes,
     checkpoint = std::make_unique<CheckpointWriter>(
         options.checkpoint_path, sizes, reps, seed, resumed);
   }
+  // Shard ownership is a pure function of the flattened task index, so k
+  // shards partition exactly the cells one process would enumerate — no
+  // overlap, no gaps, and per-cell seeds unchanged.
   std::vector<std::size_t> pending;
-  pending.reserve(done.size());
+  pending.reserve(done.size() / shard_count + 1);
   for (std::size_t task = 0; task < done.size(); ++task) {
-    if (!done[task]) pending.push_back(task);
+    if (!done[task] && task % shard_count == shard_index) {
+      pending.push_back(task);
+    }
   }
 
   // Fan the whole size x replication grid out at once: sizes near the top
@@ -328,6 +346,17 @@ ScalingSeries measure_scaling_impl(const std::vector<std::size_t>& sizes,
                  series.points[i].raw[r] = value;
                  if (checkpoint) checkpoint->append(i, sizes[i], r, value);
                });
+  return pending.size();
+}
+
+template <typename Invoke>
+ScalingSeries measure_scaling_impl(const std::vector<std::size_t>& sizes,
+                                   std::size_t reps, std::uint64_t seed,
+                                   const ScalingOptions& options,
+                                   const Invoke& invoke) {
+  ScalingSeries series;
+  (void)run_scaling_cells(sizes, reps, seed, options, /*shard_index=*/0,
+                          /*shard_count=*/1, invoke, series);
   for (auto& point : series.points) {
     point.summary = stats::summarize(point.raw);
   }
@@ -393,6 +422,154 @@ ScalingSeries measure_scaling(
   ScalingOptions options;
   options.threads = threads;
   return measure_scaling(sizes, reps, seed, measure, options);
+}
+
+namespace {
+
+// Shared body of the sharded entry points: the checkpoint is mandatory
+// (it IS the shard's output — without it the computed cells would be
+// thrown away) and the raw series is discarded.
+template <typename Invoke>
+std::size_t measure_scaling_shard_impl(const std::vector<std::size_t>& sizes,
+                                       std::size_t reps, std::uint64_t seed,
+                                       const ScalingOptions& options,
+                                       std::size_t shard_index,
+                                       std::size_t shard_count,
+                                       const Invoke& invoke) {
+  SFS_REQUIRE(!options.checkpoint_path.empty(),
+              "sharded sweeps require a checkpoint path: the per-shard "
+              "checkpoint file is the shard's only output");
+  ScalingSeries series;
+  return run_scaling_cells(sizes, reps, seed, options, shard_index,
+                           shard_count, invoke, series);
+}
+
+}  // namespace
+
+std::size_t measure_scaling_shard(
+    const std::vector<std::size_t>& sizes, std::size_t reps,
+    std::uint64_t seed,
+    const std::function<double(std::size_t, std::uint64_t)>& measure,
+    const ScalingOptions& options, std::size_t shard_index,
+    std::size_t shard_count) {
+  return measure_scaling_shard_impl(
+      sizes, reps, seed, options, shard_index, shard_count,
+      [&](std::size_t n, std::uint64_t cell_seed, std::size_t) {
+        return measure(n, cell_seed);
+      });
+}
+
+std::size_t measure_scaling_shard(
+    const std::vector<std::size_t>& sizes, std::size_t reps,
+    std::uint64_t seed,
+    const std::function<double(std::size_t, std::uint64_t,
+                               gen::GenScratch&)>& measure,
+    const ScalingOptions& options, std::size_t shard_index,
+    std::size_t shard_count) {
+  std::vector<WorkerContext> workers(resolve_worker_count(options.threads));
+  return measure_scaling_shard_impl(
+      sizes, reps, seed, options, shard_index, shard_count,
+      [&](std::size_t n, std::uint64_t cell_seed, std::size_t worker) {
+        return measure(n, cell_seed, workers[worker].gen_scratch);
+      });
+}
+
+std::size_t merge_checkpoints(const std::vector<std::string>& inputs,
+                              const std::string& output) {
+  SFS_REQUIRE(!inputs.empty(), "merge_checkpoints needs at least one input");
+  std::vector<std::string> canonical_meta;
+  std::size_t reps = 0;
+  std::vector<std::size_t> sizes;
+  // (size_index, rep) -> value string, byte-for-byte as a shard recorded
+  // it — values are never re-parsed and re-formatted, so the merged file
+  // replays the exact bits the shards measured. std::map keeps the output
+  // sorted by (size_index, rep).
+  std::map<std::pair<std::size_t, std::size_t>, std::string> cells;
+
+  for (const std::string& path : inputs) {
+    std::ifstream in(path);
+    SFS_REQUIRE(in.good(), "cannot open shard checkpoint: " + path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      lines.push_back(line);
+    }
+    SFS_REQUIRE(!lines.empty(), "empty shard checkpoint: " + path);
+
+    std::vector<std::string> fields;
+    SFS_REQUIRE(parse_csv_row(lines[0], fields) && fields.size() == 5 &&
+                    fields[0] == kCkptMagic && fields[1] == kCkptVersion,
+                "not a scaling checkpoint: " + path);
+    if (canonical_meta.empty()) {
+      canonical_meta = fields;
+      SFS_REQUIRE(parse_index(fields[3], reps) && reps >= 1,
+                  "bad reps field in checkpoint meta: " + path);
+      std::size_t start = 0;
+      const std::string& joined = fields[4];
+      while (start <= joined.size()) {
+        const std::size_t sep = joined.find(';', start);
+        const std::string token =
+            joined.substr(start, sep == std::string::npos ? std::string::npos
+                                                          : sep - start);
+        std::size_t n = 0;
+        SFS_REQUIRE(parse_index(token, n),
+                    "bad sizes field in checkpoint meta: " + path);
+        sizes.push_back(n);
+        if (sep == std::string::npos) break;
+        start = sep + 1;
+      }
+    } else {
+      SFS_REQUIRE(fields == canonical_meta,
+                  "shard checkpoints disagree on (seed, reps, sizes); "
+                  "refusing to merge: " +
+                      path);
+    }
+
+    for (std::size_t k = 1; k < lines.size(); ++k) {
+      const bool is_last = k + 1 == lines.size();
+      const bool parsed = parse_csv_row(lines[k], fields);
+      if (parsed && !fields.empty() && fields.back() == "torn") continue;
+      std::size_t i = 0;
+      std::size_t n = 0;
+      std::size_t rep = 0;
+      double value = 0.0;
+      const bool well_formed =
+          parsed && fields.size() == 5 && fields[4] == kCkptEnd &&
+          parse_index(fields[0], i) && parse_index(fields[1], n) &&
+          parse_index(fields[2], rep) && parse_value(fields[3], value) &&
+          i < sizes.size() && sizes[i] == n && rep < reps;
+      if (!well_formed) {
+        if (k == 1 && parsed && !fields.empty() && fields[0] == "size_index") {
+          continue;
+        }
+        // Same tolerance as resume: rows are flushed whole, so only the
+        // final line of a shard may be torn.
+        SFS_REQUIRE(is_last, "corrupt checkpoint row " + std::to_string(k) +
+                                 " in " + path);
+        continue;
+      }
+      const auto [it, inserted] = cells.emplace(std::make_pair(i, rep),
+                                                fields[3]);
+      SFS_REQUIRE(inserted || it->second == fields[3],
+                  "shards disagree on cell (size_index=" + std::to_string(i) +
+                      ", rep=" + std::to_string(rep) + "): " + path);
+    }
+  }
+
+  std::ofstream out(output, std::ios::trunc);
+  SFS_REQUIRE(out.good(), "cannot open merged checkpoint for writing: " +
+                              output);
+  write_csv_row(out, canonical_meta);
+  write_csv_row(out, {"size_index", "n", "rep", "value", kCkptEnd});
+  for (const auto& [key, value] : cells) {
+    write_csv_row(out, {std::to_string(key.first),
+                        std::to_string(sizes[key.first]),
+                        std::to_string(key.second), value, kCkptEnd});
+  }
+  out.flush();
+  SFS_REQUIRE(out.good(), "merged checkpoint write failed: " + output);
+  return cells.size();
 }
 
 stats::BootstrapCi bootstrap_slope_ci(const ScalingSeries& series,

@@ -14,6 +14,7 @@
 #pragma once
 
 #include "gen/scratch.hpp"
+#include "graph/compressed.hpp"
 #include "graph/graph.hpp"
 #include "search/local_view.hpp"
 
@@ -28,6 +29,10 @@ struct WorkerContext {
   /// factories, which regenerate it in place, and the plain factories,
   /// which park their result here so callers get a stable reference).
   graph::Graph graph;
+  /// Row decode scratch for workloads reading a CompressedGraph or an
+  /// mmap'd snapshot (graph/compressed.hpp): one buffer per worker keeps
+  /// compressed-row iteration zero-alloc past the high-water degree.
+  graph::AdjacencyDecodeBuffer decode_buffer;
 
   WorkerContext() = default;
   WorkerContext(const WorkerContext&) = delete;

@@ -1,0 +1,15 @@
+// SFS_LINT_FIXTURE_PATH: src/graph/fixture_snapshot_io.cpp
+// Fixture: the failure modes R1/R5 must catch in mmap/IO code — a raw
+// throw without a reasoned ALLOW (the "quick hack" version of a mapping
+// failure) and ad-hoc entropy for a temp-file suffix.
+#include <cstdlib>
+#include <random>
+#include <stdexcept>
+#include <string>
+
+int fixture(int fd, const std::string& path) {
+  std::random_device entropy;
+  const unsigned suffix = entropy() ^ static_cast<unsigned>(rand());
+  if (fd < 0) throw std::runtime_error("mmap failed: " + path);
+  return fd + static_cast<int>(suffix % 7);
+}
