@@ -29,6 +29,27 @@ Rules
   check-discipline    (R5) no raw `throw` / `assert(` in src/ — use
                       SFS_REQUIRE / SFS_CHECK (base/check.hpp) so
                       failures carry expression, location, and context.
+  rng-reachability    (R6) cross-TU call-graph pass: every path from a
+                      registered experiment run-fn (`.run = fn` in an
+                      ExperimentRegistrar literal) to a raw Rng /
+                      Philox4x64 construction must traverse an audited
+                      or versioned seed derivation (audited_stream_seed,
+                      StreamPlan, *.stream_seed).  An experiment whose
+                      call chain seeds an engine any other way can
+                      silently correlate replications.
+  float-order         (R7) no unordered floating-point accumulation in a
+                      TU feeding BENCH_JSON artifacts: std::reduce /
+                      std::transform_reduce (reduction order
+                      unspecified), parallel execution policies, and
+                      std::accumulate over unordered containers are all
+                      rejected — FP addition does not commute, so the
+                      emitted bytes would depend on hashing/scheduling.
+  layering            (R8) src/ include DAG base→rng→graph→gen→stats→
+                      search→sim→core: an upward #include across layer
+                      directories is a violation (so include cycles are
+                      impossible by construction), and every contiguous
+                      run of quoted includes must be sorted (the sorted
+                      form is mechanically restorable with --fix).
 
 Suppression
 -----------
@@ -49,12 +70,25 @@ string/character literals with full raw-string support, and applies the
 rules to the remaining token text — no network, no non-stdlib deps.
 `--engine libclang` upgrades R2/R4/R5 to true call-/throw-expression
 checks when python clang bindings + libclang are installed; `--engine
-auto` (default) probes and falls back.  Both engines share scoping,
-suppression, and reporting, and the fixture corpus under
-tests/lint_fixtures/ pins their behavior (`--self-test`).
+auto` (default) probes and falls back.  The R6 call graph is built by
+the token engine in every mode (function definitions + call edges from
+the lexed text) — reported as such, never silently.  `--engine-report`
+prints a JSON probe of what is actually available and exits nonzero on
+the one silent-degrade case: bindings importable but libclang unusable.
+Both engines share scoping, suppression, and reporting, and the fixture
+corpus under tests/lint_fixtures/ pins their behavior (`--self-test`,
+which also asserts that `--fix` is idempotent).
 
-Exit codes: 0 clean, 1 violations found (or self-test mismatch),
-2 usage/configuration error.
+Fixing
+------
+`--fix` rewrites the mechanically fixable findings in place: raw
+single-line `assert(expr);` in src/ becomes `SFS_CHECK(expr, "expr");`
+(inserting the base/check.hpp include when needed), and unsorted
+quoted-include runs are stably sorted.  Running --fix twice is a no-op
+by construction.
+
+Exit codes: 0 clean, 1 violations found (or self-test mismatch, or
+--engine-report degrade), 2 usage/configuration error.
 """
 
 from __future__ import annotations
@@ -75,6 +109,21 @@ SCAN_DIRS = ("src", "bench", "examples", "tests")
 SOURCE_SUFFIXES = (".cpp", ".hpp", ".cc", ".hh", ".h")
 # Deliberate-violation corpus for --self-test; never part of --all.
 FIXTURE_DIR = "tests/lint_fixtures"
+
+# The include-layering DAG (R8): a src/<dir>/ file may include only from
+# its own directory or directories of strictly lower rank.  This is the
+# one-way dependency order the whole library is built around; an upward
+# include is how cycles (and untestable layers) start.
+LAYER_RANK = {
+    "base": 0,
+    "rng": 1,
+    "graph": 2,
+    "gen": 3,
+    "stats": 4,
+    "search": 5,
+    "sim": 6,
+    "core": 7,
+}
 
 
 def _in_dir(path: str, prefix: str) -> bool:
@@ -129,7 +178,31 @@ RULES = {
         "raw throw/assert in src/ (use SFS_REQUIRE / SFS_CHECK)",
         lambda p: _in_dir(p, "src") and p != "src/base/check.hpp",
     ),
+    "rng-reachability": Rule(
+        "rng-reachability",
+        "experiment-reachable Rng/Philox construction without an "
+        "audited/versioned seed derivation on the path (cross-TU)",
+        # tests/ link into their own binaries (no experiment registry) and
+        # legitimately pin literal seeds; src/rng implements the engines.
+        lambda p: not _in_dir(p, "src/rng") and not _in_dir(p, "tests"),
+    ),
+    "float-order": Rule(
+        "float-order",
+        "unordered floating-point accumulation (std::reduce / parallel "
+        "policy / accumulate over unordered) in an emitter TU",
+        lambda p: True,
+    ),
+    "layering": Rule(
+        "layering",
+        "upward include across the src/ layer DAG, or an unsorted "
+        "quoted-include run (--fix restores order)",
+        lambda p: _in_dir(p, "src"),
+    ),
 }
+
+# Rules evaluated over the whole lint corpus at once rather than one file
+# at a time (they need the cross-TU call graph).
+CORPUS_RULES = ("rng-reachability",)
 
 # Meta-diagnostics emitted by the suppression machinery itself.  They are
 # not suppressible and fire regardless of path scope.
@@ -301,12 +374,23 @@ R3_SURFACE_RE = re.compile(
     r'#\s*include\s*"sim/(report|experiment)\.hpp"|'
     r"\bResultsEmitter\b|\bemit_object\b|\bBENCH_JSON\b")
 R3_DECL_RE = re.compile(r"\bstd\s*::\s*unordered_(?:map|set)\s*<[^;{]*?>\s+(\w+)")
-R3_INLINE_ITER_RE = re.compile(r":\s*\w[\w:]*\s*\.?\s*$")  # unused; kept simple below
 
 R4_RE = re.compile(r"\b(measure_weak_portfolio|measure_strong_portfolio)\s*\(")
 
 R5_THROW_RE = re.compile(r"\bthrow\b")
 R5_ASSERT_RE = re.compile(r"(?<!static_)\bassert\s*\(")
+
+# R7: the lexer blanks string contents, so the include form of the emitter
+# surface must be spotted in the original text.
+R7_INCLUDE_SURFACE_RE = re.compile(
+    r'#\s*include\s*"sim/(report|experiment)\.hpp"')
+R7_REDUCE_RE = re.compile(r"\bstd\s*::\s*(?:transform_reduce|reduce)\s*\(")
+R7_EXEC_POLICY_RE = re.compile(
+    r"\bstd\s*::\s*execution\s*::\s*(?:par_unseq|par|unseq)\b")
+R7_ACCUMULATE_RE = re.compile(
+    r"\baccumulate\s*\(\s*([A-Za-z_]\w*)\s*\.\s*c?begin\s*\(")
+
+R8_INCLUDE_RE = re.compile(r'\s*#\s*include\s*"([^"]+)"')
 
 
 def _line_findings(path: str, code: str, regex: re.Pattern, rule: str,
@@ -318,7 +402,8 @@ def _line_findings(path: str, code: str, regex: re.Pattern, rule: str,
     return found
 
 
-def token_rule_rng_sources(path: str, lexed: LexedFile) -> list[Finding]:
+def token_rule_rng_sources(path: str, lexed: LexedFile,
+                           original: str = "") -> list[Finding]:
     out = []
     out += _line_findings(path, lexed.code, R1_STD_RNG_RE, "rng-sources",
                           "std::<random> engine/device — all randomness must "
@@ -336,7 +421,8 @@ def token_rule_rng_sources(path: str, lexed: LexedFile) -> list[Finding]:
     return out
 
 
-def token_rule_raw_derive(path: str, lexed: LexedFile) -> list[Finding]:
+def token_rule_raw_derive(path: str, lexed: LexedFile,
+                          original: str = "") -> list[Finding]:
     return _line_findings(
         path, lexed.code, R2_RE, "raw-derive",
         "raw derive_stream_seed call — route through "
@@ -344,7 +430,8 @@ def token_rule_raw_derive(path: str, lexed: LexedFile) -> list[Finding]:
         "rng::StreamPlan; the PR 3 audit caught a real seed collision here")
 
 
-def token_rule_unordered_emission(path: str, lexed: LexedFile) -> list[Finding]:
+def token_rule_unordered_emission(path: str, lexed: LexedFile,
+                                  original: str = "") -> list[Finding]:
     code = lexed.code
     if not R3_SURFACE_RE.search(code):
         return []
@@ -369,7 +456,8 @@ def token_rule_unordered_emission(path: str, lexed: LexedFile) -> list[Finding]:
     return out
 
 
-def token_rule_legacy_api(path: str, lexed: LexedFile) -> list[Finding]:
+def token_rule_legacy_api(path: str, lexed: LexedFile,
+                          original: str = "") -> list[Finding]:
     return _line_findings(
         path, lexed.code, R4_RE, "legacy-api",
         "legacy measure_*_portfolio call — the compat surface is pinned to "
@@ -377,7 +465,8 @@ def token_rule_legacy_api(path: str, lexed: LexedFile) -> list[Finding]:
         "sim::measure_portfolio(RunPlan) (docs/SEARCH.md)")
 
 
-def token_rule_check_discipline(path: str, lexed: LexedFile) -> list[Finding]:
+def token_rule_check_discipline(path: str, lexed: LexedFile,
+                                original: str = "") -> list[Finding]:
     out = []
     out += _line_findings(path, lexed.code, R5_THROW_RE, "check-discipline",
                           "raw throw in src/ — use SFS_REQUIRE (precondition) "
@@ -389,27 +478,317 @@ def token_rule_check_discipline(path: str, lexed: LexedFile) -> list[Finding]:
     return out
 
 
+def token_rule_float_order(path: str, lexed: LexedFile,
+                           original: str = "") -> list[Finding]:
+    code = lexed.code
+    if not (R3_SURFACE_RE.search(code)
+            or R7_INCLUDE_SURFACE_RE.search(original)):
+        return []
+    out: list[Finding] = []
+    out += _line_findings(
+        path, code, R7_REDUCE_RE, "float-order",
+        "std::reduce/transform_reduce leaves the FP reduction order "
+        "unspecified — in an emitter TU that breaks byte-stable BENCH_JSON; "
+        "use std::accumulate (left fold) over an ordered range")
+    out += _line_findings(
+        path, code, R7_EXEC_POLICY_RE, "float-order",
+        "parallel/unsequenced execution policy in an emitter TU — "
+        "scheduling-dependent accumulation order leaks into artifacts; "
+        "fold per-slot results in index order instead (base/parallel.hpp)")
+    unordered_vars = set(R3_DECL_RE.findall(code))
+    for idx, line_text in enumerate(code.split("\n"), start=1):
+        m = R7_ACCUMULATE_RE.search(line_text)
+        if m and m.group(1) in unordered_vars:
+            out.append(Finding(
+                path, idx, "float-order",
+                "std::accumulate over an unordered container — "
+                "hash-iteration order makes the FP sum "
+                "implementation-defined; accumulate a sorted copy"))
+    return out
+
+
+def _include_runs(lexed: LexedFile,
+                  original: str) -> list[list[tuple[int, str]]]:
+    """Contiguous runs of quoted #include lines as (1-based line, path),
+    taken from the original text but gated on the lexed text so a
+    commented-out include neither joins nor splits a run."""
+    code_lines = lexed.code.split("\n")
+    orig_lines = original.split("\n")
+    runs: list[list[tuple[int, str]]] = []
+    cur: list[tuple[int, str]] = []
+    for idx, (cl, ol) in enumerate(zip(code_lines, orig_lines), start=1):
+        m = R8_INCLUDE_RE.match(ol)
+        if m and re.match(r'\s*#\s*include\s*"', cl):
+            cur.append((idx, m.group(1)))
+        else:
+            if cur:
+                runs.append(cur)
+            cur = []
+    if cur:
+        runs.append(cur)
+    return runs
+
+
+def token_rule_layering(path: str, lexed: LexedFile,
+                        original: str = "") -> list[Finding]:
+    parts = path.split("/")
+    own_rank = None
+    if len(parts) >= 3 and parts[0] == "src" and parts[1] in LAYER_RANK:
+        own_rank = LAYER_RANK[parts[1]]
+    out: list[Finding] = []
+    runs = _include_runs(lexed, original)
+    for run in runs:
+        # Upward includes: every offending line reports.
+        for line_no, inc in run:
+            top = inc.split("/")[0]
+            if (own_rank is not None and top in LAYER_RANK
+                    and LAYER_RANK[top] > own_rank):
+                out.append(Finding(
+                    path, line_no, "layering",
+                    f"upward include: {parts[1]}/ (layer {own_rank}) must "
+                    f"not include {top}/ (layer {LAYER_RANK[top]}) — the "
+                    "DAG is base→rng→graph→gen→stats→search→sim→core; "
+                    "move the shared code down a layer or invert the "
+                    "dependency (docs/ANALYSIS.md)"))
+        # Ordering: one report per unsorted run, at the first regression.
+        for k in range(1, len(run)):
+            if run[k][1] < run[k - 1][1]:
+                out.append(Finding(
+                    path, run[k][0], "layering",
+                    f'unsorted include run: "{run[k][1]}" sorts before '
+                    f'"{run[k - 1][1]}" — run sfs_lint --fix to restore '
+                    "order"))
+                break
+    return out
+
+
 TOKEN_RULE_FNS = {
     "rng-sources": token_rule_rng_sources,
     "raw-derive": token_rule_raw_derive,
     "unordered-emission": token_rule_unordered_emission,
     "legacy-api": token_rule_legacy_api,
     "check-discipline": token_rule_check_discipline,
+    "float-order": token_rule_float_order,
+    "layering": token_rule_layering,
 }
+
+
+# --------------------------------------------------------------------------
+# R6: cross-TU rng-reachability (token call graph)
+# --------------------------------------------------------------------------
+#
+# Roots are the registered experiment entry points — the `.run = fn`
+# designated initializers of sim::ExperimentRegistrar literals.  Function
+# definitions and call edges are recovered from the lexed text: an
+# identifier + balanced parens + optional trailer (const/noexcept/macro
+# attributes/ctor-initializers) followed by `{` is a definition; every
+# known-function identifier followed by `(` inside its brace-matched body
+# is an edge.  A "draw" is a construction of rng::Rng or rng::Philox4x64.
+# The draw is sanctioned when its enclosing function — or anything that
+# function can reach — derives seeds through audited_stream_seed, a
+# StreamPlan, or a *.stream_seed() helper.  A violation is a draw in a
+# root-reachable, unsanctioned function: an experiment path that seeds an
+# engine outside the derivation discipline.
+#
+# This is a heuristic (token-level) analysis: same-name functions merge
+# into one node, bodies include nested lambdas, and declarations-only TUs
+# contribute nothing.  That is the right bias for a lint — merging only
+# ever *adds* reachability, and false positives carry a reasoned
+# SFS_LINT_ALLOW that documents why the seeding is sound.
+
+R6_ROOT_RE = re.compile(r"\.run\s*=\s*&?([A-Za-z_]\w*)")
+R6_DRAW_NAMED_RE = re.compile(
+    r"\b(?:rng\s*::\s*)?(?:Rng|Philox4x64)\s+\w+\s*[({]")
+R6_DRAW_TEMP_RE = re.compile(r"\b(?:rng\s*::\s*)?(?:Rng|Philox4x64)\s*\(")
+R6_SANCTION_RE = re.compile(
+    r"\baudited_stream_seed\s*\(|\bStreamPlan\b|\bstream_seed\s*\(")
+R6_CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+R6_NOT_FN = frozenset({
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+    "alignas", "decltype", "static_assert", "assert", "defined", "case",
+    "new", "delete", "throw", "co_await", "co_return", "co_yield",
+})
+R6_FN_TRAILER_RE = re.compile(
+    r"(?:\s*(?:const\b|noexcept\b(?:\s*\([^()]*\))?|override\b|final\b|"
+    r"[A-Z_][A-Za-z0-9_]*\s*\([^()]*\)))*"
+    r"(?:\s*->\s*[^{;]+?)?(?:\s*:[^{;]*)?\s*\{")
+
+
+@dataclass
+class FnDef:
+    name: str
+    path: str
+    line: int
+    body: str  # lexed body text including the braces
+
+
+def _match_forward(code: str, i: int, open_ch: str, close_ch: str) -> int:
+    """Index of the close matching the open at code[i], or -1."""
+    depth = 0
+    n = len(code)
+    while i < n:
+        c = code[i]
+        if c == open_ch:
+            depth += 1
+        elif c == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return -1
+
+
+def extract_functions(path: str, lexed: LexedFile) -> list[FnDef]:
+    code = lexed.code
+    fns: list[FnDef] = []
+    for m in re.finditer(r"\b([A-Za-z_]\w*)\s*\(", code):
+        name = m.group(1)
+        if name in R6_NOT_FN:
+            continue
+        close = _match_forward(code, m.end() - 1, "(", ")")
+        if close == -1:
+            continue
+        tm = R6_FN_TRAILER_RE.match(code, close + 1)
+        if not tm or not tm.group(0).rstrip().endswith("{"):
+            continue
+        body_open = tm.end() - 1
+        body_close = _match_forward(code, body_open, "{", "}")
+        if body_close == -1:
+            continue
+        fns.append(FnDef(name, path,
+                         code.count("\n", 0, m.start()) + 1,
+                         code[body_open:body_close + 1]))
+    return fns
+
+
+def rng_reachability_findings(
+        lexed_map: dict[str, LexedFile],
+        graph_extra: dict[str, LexedFile] | None = None) -> list[Finding]:
+    """R6 over the corpus.  `graph_extra` extends the call graph (e.g. the
+    TUs of compile_commands.json) without adding reportable files."""
+    whole: dict[str, LexedFile] = dict(graph_extra or {})
+    whole.update(lexed_map)
+
+    # name -> merged node
+    callees: dict[str, set[str]] = {}
+    sanctioned: dict[str, bool] = {}
+    draws: dict[str, list[tuple[str, int]]] = {}
+    roots: set[str] = set()
+
+    all_fns: list[FnDef] = []
+    for path, lexed in whole.items():
+        all_fns.extend(extract_functions(path, lexed))
+        for m in R6_ROOT_RE.finditer(lexed.code):
+            roots.add(m.group(1))
+    known = {fn.name for fn in all_fns}
+
+    rule = RULES["rng-reachability"]
+    for fn in all_fns:
+        node = callees.setdefault(fn.name, set())
+        node.update(c for c in set(R6_CALL_RE.findall(fn.body))
+                    if c in known and c != fn.name)
+        sanctioned[fn.name] = (sanctioned.get(fn.name, False)
+                               or bool(R6_SANCTION_RE.search(fn.body)))
+        if not rule.in_scope(fn.path):
+            continue
+        for dm in list(R6_DRAW_NAMED_RE.finditer(fn.body)) + \
+                list(R6_DRAW_TEMP_RE.finditer(fn.body)):
+            line = fn.line + fn.body.count("\n", 0, dm.start())
+            draws.setdefault(fn.name, []).append((fn.path, line))
+
+    def closure(start: set[str]) -> set[str]:
+        seen = set(start)
+        stack = list(start)
+        while stack:
+            for nxt in callees.get(stack.pop(), ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
+    reachable = closure(roots & known)
+
+    reverse: dict[str, set[str]] = {}
+    for caller, outs in callees.items():
+        if caller not in reachable:
+            continue
+        for callee in outs:
+            reverse.setdefault(callee, set()).add(caller)
+
+    def self_sanctioned(name: str) -> bool:
+        """Sanction inside the function or anything it can call — the
+        "derives its own seed (possibly via a helper)" case."""
+        return any(sanctioned.get(n, False) for n in closure({name}))
+
+    # Backward all-paths check: a draw in `name` is clean iff EVERY path
+    # from a root to `name` traverses a sanctioned body — either `name`
+    # seeds itself (self_sanctioned) or all of its root-reachable callers
+    # are, recursively, path-sanctioned (they derived the seed they pass
+    # down).  Cycle members are optimistically clean; the path into the
+    # cycle still decides.
+    memo: dict[str, bool] = {}
+
+    def path_sanctioned(name: str, visiting: frozenset[str]) -> bool:
+        if name in visiting:
+            return True
+        if name in memo:
+            return memo[name]
+        if self_sanctioned(name):
+            result = True
+        elif name in roots:
+            result = False  # an experiment entry path with no sanction yet
+        else:
+            callers = [c for c in reverse.get(name, ()) if c in reachable]
+            result = bool(callers) and all(
+                path_sanctioned(c, visiting | {name}) for c in callers)
+        memo[name] = result
+        return result
+
+    out: list[Finding] = []
+    for name, sites in draws.items():
+        if name not in reachable:
+            continue
+        if path_sanctioned(name, frozenset()):
+            continue
+        # De-duplicate sites (the named/temp regexes can overlap).
+        for path, line in sorted(set(sites)):
+            if path in lexed_map:  # report only inside the lint set
+                out.append(Finding(
+                    path, line, "rng-reachability",
+                    f"'{name}' is reachable from a registered experiment "
+                    "run-fn and constructs an RNG engine, but nothing on "
+                    "the path derives its seed through audited_stream_seed "
+                    "/ StreamPlan / stream_seed — replications seeded this "
+                    "way can silently correlate (docs/PERF.md seed "
+                    "discipline; docs/ANALYSIS.md R6)"))
+    return out
 
 
 # --------------------------------------------------------------------------
 # Optional libclang engine (upgrades R2/R4/R5 to AST precision)
 # --------------------------------------------------------------------------
 
-def try_libclang():
-    """Returns the clang.cindex module, or None when unavailable."""
+def probe_libclang() -> tuple[object | None, dict]:
+    """Returns (clang.cindex module or None, probe detail dict)."""
+    info: dict = {"module_importable": False, "index_created": False}
     try:
         import clang.cindex as cindex  # type: ignore
+    except Exception as exc:
+        info["error"] = f"import clang.cindex: {exc}"
+        return None, info
+    info["module_importable"] = True
+    try:
         cindex.Index.create()
-        return cindex
-    except Exception:
-        return None
+    except Exception as exc:
+        info["error"] = f"Index.create: {exc}"
+        return None, info
+    info["index_created"] = True
+    return cindex, info
+
+
+def try_libclang():
+    """Returns the clang.cindex module, or None when unavailable."""
+    return probe_libclang()[0]
 
 
 def libclang_findings(path: str, repo_root: Path, cindex) -> list[Finding] | None:
@@ -451,35 +830,144 @@ LIBCLANG_RULES = ("raw-derive", "legacy-api", "check-discipline")
 
 
 # --------------------------------------------------------------------------
+# Mechanical fixes (--fix): R5 assert rewrite, R8 include reorder
+# --------------------------------------------------------------------------
+
+def fix_include_order(path: str, text: str) -> tuple[str, int]:
+    if not RULES["layering"].in_scope(path):
+        return text, 0
+    lexed = lex(text)
+    lines = text.split("\n")
+    fixes = 0
+    for run in _include_runs(lexed, text):
+        idxs = [ln - 1 for ln, _ in run]
+        paths = [p for _, p in run]
+        order = sorted(range(len(run)), key=lambda k: paths[k])
+        if order != list(range(len(run))):
+            originals = [lines[i] for i in idxs]
+            for slot, k in zip(idxs, order):
+                lines[slot] = originals[k]
+            fixes += 1
+    return "\n".join(lines), fixes
+
+
+def _insert_check_include(lines: list[str]) -> list[str]:
+    """Inserts #include "base/check.hpp" into the first quoted-include run
+    (keeping it sorted), else after the last top-of-file angle include,
+    else after #pragma once."""
+    inc = '#include "base/check.hpp"'
+    first_run_start = None
+    for i, line in enumerate(lines):
+        if R8_INCLUDE_RE.match(line):
+            first_run_start = i
+            break
+    if first_run_start is not None:
+        j = first_run_start
+        while j < len(lines):
+            m = R8_INCLUDE_RE.match(lines[j])
+            if not m or m.group(1) > "base/check.hpp":
+                break
+            j += 1
+        return lines[:j] + [inc] + lines[j:]
+    last_angle = None
+    for i, line in enumerate(lines):
+        if re.match(r"\s*#\s*include\s*<", line):
+            last_angle = i
+    if last_angle is not None:
+        return lines[:last_angle + 1] + ["", inc] + lines[last_angle + 1:]
+    for i, line in enumerate(lines):
+        if re.match(r"\s*#\s*pragma\s+once", line):
+            return lines[:i + 1] + ["", inc] + lines[i + 1:]
+    return [inc, ""] + lines
+
+
+def fix_asserts(path: str, text: str) -> tuple[str, int]:
+    if not RULES["check-discipline"].in_scope(path):
+        return text, 0
+    lexed = lex(text)
+    code_lines = lexed.code.split("\n")
+    lines = text.split("\n")
+    fixes = 0
+    for i, cl in enumerate(code_lines):
+        if i >= len(lines) or not R5_ASSERT_RE.search(cl):
+            continue
+        m = re.match(r"^(\s*)assert\s*\((.*)\)\s*;(\s*//.*)?$", lines[i])
+        if not m:
+            continue  # multi-line / compound statements are not mechanical
+        indent, expr, trail = m.group(1), m.group(2), m.group(3) or ""
+        if expr.count("(") != expr.count(")"):
+            continue
+        msg = expr.replace("\\", "\\\\").replace('"', '\\"')
+        lines[i] = f'{indent}SFS_CHECK({expr}, "{msg}");{trail}'
+        fixes += 1
+    if fixes and '#include "base/check.hpp"' not in text:
+        lines = _insert_check_include(lines)
+    return "\n".join(lines), fixes
+
+
+def apply_fixes(path: str, text: str) -> tuple[str, int]:
+    """All mechanical fixes for one file; idempotent by construction
+    (asserted over the fixture corpus by --self-test)."""
+    text, n1 = fix_asserts(path, text)
+    text, n2 = fix_include_order(path, text)
+    return text, n1 + n2
+
+
+# --------------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------------
 
+def lint_corpus(corpus: dict[str, str], engine: str, repo_root: Path,
+                cindex=None,
+                graph_extra: dict[str, str] | None = None) -> list[Finding]:
+    """Lints a set of files together: per-file rules plus the cross-TU
+    rules over the whole set.  Keys are repo-relative paths (which drive
+    rule scoping); values are file contents."""
+    lexed_map = {p: lex(t) for p, t in corpus.items()}
+    allows_map: dict[str, list[Allow]] = {}
+    all_findings: list[Finding] = []
+
+    for path, lexed in lexed_map.items():
+        allows, meta = parse_allows(lexed)
+        for f in meta:
+            f.path = path
+        allows_map[path] = allows
+
+        ast_findings: list[Finding] | None = None
+        if engine == "libclang" and cindex is not None:
+            ast_findings = libclang_findings(path, repo_root, cindex)
+
+        findings: list[Finding] = []
+        for rule_name, rule in RULES.items():
+            if rule_name in CORPUS_RULES or not rule.in_scope(path):
+                continue
+            if ast_findings is not None and rule_name in LIBCLANG_RULES:
+                findings.extend(f for f in ast_findings if f.rule == rule_name)
+            else:
+                findings.extend(
+                    TOKEN_RULE_FNS[rule_name](path, lexed, corpus[path]))
+        findings = apply_allows(findings, allows)
+        findings.extend(meta)
+        all_findings.extend(findings)
+
+    extra_lexed = ({p: lex(t) for p, t in graph_extra.items()}
+                   if graph_extra else None)
+    cross = rng_reachability_findings(lexed_map, extra_lexed)
+    by_path: dict[str, list[Finding]] = {}
+    for f in cross:
+        by_path.setdefault(f.path, []).append(f)
+    for path, findings in by_path.items():
+        all_findings.extend(apply_allows(findings, allows_map.get(path, [])))
+
+    all_findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return all_findings
+
+
 def lint_text(path: str, text: str, engine: str, repo_root: Path,
               cindex=None) -> list[Finding]:
-    """Lints one file's contents under its repo-relative `path` (which
-    drives rule scoping). Returns unsuppressed findings + meta findings."""
-    lexed = lex(text)
-    allows, meta = parse_allows(lexed)
-    for f in meta:
-        f.path = path
-
-    ast_findings: list[Finding] | None = None
-    if engine == "libclang" and cindex is not None:
-        ast_findings = libclang_findings(path, repo_root, cindex)
-
-    findings: list[Finding] = []
-    for rule_name, rule in RULES.items():
-        if not rule.in_scope(path):
-            continue
-        if ast_findings is not None and rule_name in LIBCLANG_RULES:
-            findings.extend(f for f in ast_findings if f.rule == rule_name)
-        else:
-            findings.extend(TOKEN_RULE_FNS[rule_name](path, lexed))
-
-    findings = apply_allows(findings, allows)
-    findings.extend(meta)
-    findings.sort(key=lambda f: (f.line, f.rule))
-    return findings
+    """Lints one file's contents under its repo-relative `path`; the file
+    is its own cross-TU corpus (what --self-test fixtures rely on)."""
+    return lint_corpus({path: text}, engine, repo_root, cindex)
 
 
 def collect_files(repo_root: Path, explicit: list[str]) -> list[str]:
@@ -502,8 +990,35 @@ def collect_files(repo_root: Path, explicit: list[str]) -> list[str]:
     return files
 
 
-def run_lint(repo_root: Path, files: list[str], engine: str,
-             as_json: bool) -> int:
+def load_compile_commands(repo_root: Path, cc_path: Path,
+                          already: set[str]) -> dict[str, str] | None:
+    """TUs listed in compile_commands.json (restricted to the repo, minus
+    files already being linted) as extra call-graph corpus for R6."""
+    try:
+        entries = json.loads(cc_path.read_text())
+    except Exception as exc:
+        print(f"sfs_lint: cannot read {cc_path}: {exc}", file=sys.stderr)
+        return None
+    extra: dict[str, str] = {}
+    root = repo_root.resolve()
+    for entry in entries:
+        f = Path(entry.get("file", ""))
+        if not f.is_absolute():
+            f = Path(entry.get("directory", ".")) / f
+        try:
+            rel = f.resolve().relative_to(root).as_posix()
+        except ValueError:
+            continue  # generated / out-of-repo TU
+        if (rel in already or rel in extra or _in_dir(rel, FIXTURE_DIR)
+                or not f.suffix in SOURCE_SUFFIXES):
+            continue
+        if f.is_file():
+            extra[rel] = f.read_text(encoding="utf-8", errors="replace")
+    return extra
+
+
+def run_lint(repo_root: Path, files: list[str], engine: str, as_json: bool,
+             compile_commands: str | None = None) -> int:
     cindex = None
     if engine in ("auto", "libclang"):
         cindex = try_libclang()
@@ -513,14 +1028,32 @@ def run_lint(repo_root: Path, files: list[str], engine: str,
             return 2
     effective = "libclang" if cindex is not None else "token"
 
-    all_findings: list[Finding] = []
+    corpus: dict[str, str] = {}
     for rel in files:
         full = repo_root / rel
         if not full.is_file():
             print(f"sfs_lint: no such file: {rel}", file=sys.stderr)
             return 2
         text = full.read_text(encoding="utf-8", errors="replace")
-        all_findings.extend(lint_text(rel, text, effective, repo_root, cindex))
+        # Fixtures linted explicitly (the CI seeded-violation step does)
+        # run under their declared virtual path, the same remapping the
+        # self-test applies — rule scoping is path-based, and the point of
+        # a fixture is the path it pretends to live at.
+        if _in_dir(rel, FIXTURE_DIR):
+            m = FIXTURE_PATH_RE.search(text)
+            if m:
+                rel = m.group(1)
+        corpus[rel] = text
+
+    graph_extra = None
+    if compile_commands:
+        graph_extra = load_compile_commands(
+            repo_root, Path(compile_commands), set(corpus))
+        if graph_extra is None:
+            return 2
+
+    all_findings = lint_corpus(corpus, effective, repo_root, cindex,
+                               graph_extra)
 
     if as_json:
         for f in all_findings:
@@ -536,6 +1069,39 @@ def run_lint(repo_root: Path, files: list[str], engine: str,
     print(f"sfs_lint: OK — {len(files)} file(s) clean "
           f"[{effective} engine]")
     return 0
+
+
+def run_fix(repo_root: Path, files: list[str]) -> int:
+    fixed_files = 0
+    total = 0
+    for rel in files:
+        full = repo_root / rel
+        if not full.is_file():
+            print(f"sfs_lint: no such file: {rel}", file=sys.stderr)
+            return 2
+        text = full.read_text(encoding="utf-8")
+        new_text, n = apply_fixes(rel, text)
+        if n:
+            full.write_text(new_text, encoding="utf-8")
+            fixed_files += 1
+            total += n
+            print(f"fixed {rel}: {n} mechanical fix(es)")
+    print(f"sfs_lint --fix: {total} fix(es) in {fixed_files} file(s)")
+    return 0
+
+
+def run_engine_report() -> int:
+    cindex, info = probe_libclang()
+    info["effective_engine"] = "libclang" if cindex is not None else "token"
+    # The R6 call graph is token-engine by design in every mode; report it
+    # so CI never mistakes that for a degraded run.
+    info["cross_tu_engine"] = "token"
+    # The silent-degrade case --engine auto would otherwise hide: bindings
+    # import but libclang cannot be loaded/used.
+    info["degraded"] = bool(info["module_importable"]
+                            and not info["index_created"])
+    print(json.dumps(info, sort_keys=True))
+    return 1 if info["degraded"] else 0
 
 
 # --------------------------------------------------------------------------
@@ -589,16 +1155,40 @@ def run_self_test(repo_root: Path, fixtures_dir: Path, engine: str) -> int:
         got = {(f.line, f.rule)
                for f in lint_text(vpath, text, "token", repo_root)}
         want = set(parse_expectations(fixture))
-        if got == want:
-            verdict = "clean" if not want else f"{len(want)} expected hit(s)"
-            print(f"ok   {fixture.name}: {verdict}")
+        if got != want:
+            failures += 1
+            print(f"FAIL {fixture.name} (as {vpath}):")
+            for line, rule in sorted(want - got):
+                print(f"  missing expected {rule} at line {line}")
+            for line, rule in sorted(got - want):
+                print(f"  unexpected {rule} at line {line}")
             continue
-        failures += 1
-        print(f"FAIL {fixture.name} (as {vpath}):")
-        for line, rule in sorted(want - got):
-            print(f"  missing expected {rule} at line {line}")
-        for line, rule in sorted(got - want):
-            print(f"  unexpected {rule} at line {line}")
+
+        # --fix contract, pinned on every fixture: applying the mechanical
+        # fixes twice must equal applying them once (idempotence), and a
+        # fixture that advertises itself as fixable must come out clean
+        # (and actually change) after one pass.
+        fixed1, _ = apply_fixes(vpath, text)
+        fixed2, _ = apply_fixes(vpath, fixed1)
+        if fixed1 != fixed2:
+            failures += 1
+            print(f"FAIL {fixture.name}: --fix is not idempotent")
+            continue
+        if "fixable" in fixture.name:
+            if fixed1 == text:
+                failures += 1
+                print(f"FAIL {fixture.name}: --fix changed nothing")
+                continue
+            residue = lint_text(vpath, fixed1, "token", repo_root)
+            if residue:
+                failures += 1
+                print(f"FAIL {fixture.name}: findings survive --fix:")
+                for f in residue:
+                    print(f"  {f.render()}")
+                continue
+
+        verdict = "clean" if not want else f"{len(want)} expected hit(s)"
+        print(f"ok   {fixture.name}: {verdict}")
 
     total = len(fixtures)
     if failures:
@@ -631,7 +1221,19 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--list-rules", action="store_true")
     parser.add_argument("--self-test", metavar="FIXTURE_DIR",
                         help="run the fixture corpus and verify each rule "
-                             "fires exactly where expected")
+                             "fires exactly where expected (also asserts "
+                             "--fix idempotence)")
+    parser.add_argument("--fix", action="store_true",
+                        help="apply mechanical fixes in place (assert -> "
+                             "SFS_CHECK, include reorder) instead of "
+                             "reporting")
+    parser.add_argument("--engine-report", action="store_true",
+                        help="print a JSON engine-availability probe; "
+                             "exits 1 if libclang mode silently degraded")
+    parser.add_argument("--compile-commands", metavar="PATH", default=None,
+                        help="compile_commands.json whose TUs extend the "
+                             "cross-TU call graph (R6) beyond the linted "
+                             "files")
     args = parser.parse_args(argv)
 
     repo_root = Path(args.root) if args.root else Path(__file__).resolve().parent.parent
@@ -642,6 +1244,9 @@ def main(argv: list[str]) -> int:
         for name in META_RULES:
             print(f"{name:20} (meta) malformed/unreasoned SFS_LINT_ALLOW")
         return 0
+
+    if args.engine_report:
+        return run_engine_report()
 
     if args.self_test:
         return run_self_test(repo_root, Path(args.self_test), args.engine)
@@ -656,7 +1261,10 @@ def main(argv: list[str]) -> int:
         return 2
 
     files = collect_files(repo_root, args.files)
-    return run_lint(repo_root, files, args.engine, args.json)
+    if args.fix:
+        return run_fix(repo_root, files)
+    return run_lint(repo_root, files, args.engine, args.json,
+                    args.compile_commands)
 
 
 if __name__ == "__main__":

@@ -1,14 +1,16 @@
-#include "sim/parallel.hpp"
+#include "base/parallel.hpp"
 
 #include <atomic>
 #include <cerrno>
 #include <condition_variable>
 #include <cstdlib>
-#include <mutex>
 #include <thread>
 #include <vector>
 
-namespace sfs::sim {
+#include "base/sync.hpp"
+#include "base/thread_annotations.hpp"
+
+namespace sfs::base {
 
 namespace {
 
@@ -34,38 +36,51 @@ std::size_t default_worker_count() {
 }
 
 struct ThreadPool::Impl {
+  using Fn = std::function<void(std::size_t, std::size_t)>;
+
   std::size_t workers = 1;          // total, including the calling thread
   std::vector<std::thread> threads;  // workers - 1 background threads
 
-  std::mutex mu;
-  std::condition_variable job_cv;   // background workers wait for a job
-  std::condition_variable done_cv;  // the caller waits for quiescence
-  std::uint64_t generation = 0;
-  bool stop = false;
+  /// Serializes concurrent external parallel_for calls. Always taken
+  /// before mu (declared ordering, so the analysis rejects an inverted
+  /// acquisition if one is ever written).
+  Mutex call_mu SFS_ACQUIRED_BEFORE(mu);
 
-  // Current job (written by the caller under mu before bumping generation;
-  // read-only for workers until the job completes).
-  const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
-  std::size_t count = 0;
+  Mutex mu;
+  std::condition_variable_any job_cv;   // background workers wait for a job
+  std::condition_variable_any done_cv;  // the caller waits for quiescence
+  std::uint64_t generation SFS_GUARDED_BY(mu) = 0;
+  bool stop SFS_GUARDED_BY(mu) = false;
+
+  // Current job. Written by the caller under mu before bumping generation;
+  // workers snapshot (fn, count) under mu when they wake for a generation,
+  // then run off their local copies — every access to these members is
+  // under mu, which is exactly what the annotations prove. (Before the
+  // annotation pass, workers re-read fn/count lock-free mid-job, relying
+  // on a subtler happens-before argument via the generation handshake —
+  // correct, but invisible to any analysis. See docs/ANALYSIS.md,
+  // "Capability annotations".)
+  const Fn* fn SFS_GUARDED_BY(mu) = nullptr;
+  std::size_t count SFS_GUARDED_BY(mu) = 0;
   std::atomic<std::size_t> next{0};
   std::atomic<bool> cancelled{false};
-  std::size_t active = 0;  // background workers still inside the job
-  std::exception_ptr error;
+  std::size_t active SFS_GUARDED_BY(mu) = 0;  // workers still inside the job
+  std::exception_ptr error SFS_GUARDED_BY(mu);
 
-  std::mutex call_mu;  // serializes concurrent external parallel_for calls
-
-  /// Claims tasks off the shared counter until the job is drained.
-  void run_tasks(std::size_t worker) {
+  /// Claims tasks off the shared counter until the job is drained. Runs
+  /// unlocked; `job_fn`/`job_count` are the caller's under-mu snapshot.
+  void run_tasks(std::size_t worker, const Fn& job_fn, std::size_t job_count)
+      SFS_EXCLUDES(mu) {
     const bool was_inside = t_inside_pool_task;
     t_inside_pool_task = true;
     for (;;) {
       const std::size_t task = next.fetch_add(1, std::memory_order_relaxed);
-      if (task >= count) break;
+      if (task >= job_count) break;
       if (cancelled.load(std::memory_order_relaxed)) continue;  // drain
       try {
-        (*fn)(task, worker);
+        job_fn(task, worker);
       } catch (...) {
-        std::lock_guard<std::mutex> lk(mu);
+        const MutexLock lk(mu);
         if (!error) error = std::current_exception();
         cancelled.store(true, std::memory_order_relaxed);
       }
@@ -73,18 +88,22 @@ struct ThreadPool::Impl {
     t_inside_pool_task = was_inside;
   }
 
-  void worker_loop(std::size_t worker) {
+  void worker_loop(std::size_t worker) SFS_EXCLUDES(mu) {
     std::uint64_t seen = 0;
     for (;;) {
+      const Fn* job_fn = nullptr;
+      std::size_t job_count = 0;
       {
-        std::unique_lock<std::mutex> lk(mu);
-        job_cv.wait(lk, [&] { return stop || generation != seen; });
+        const MutexLock lk(mu);
+        while (!stop && generation == seen) mu.wait(job_cv);
         if (stop) return;
         seen = generation;
+        job_fn = fn;
+        job_count = count;
       }
-      run_tasks(worker);
+      run_tasks(worker, *job_fn, job_count);
       {
-        std::lock_guard<std::mutex> lk(mu);
+        const MutexLock lk(mu);
         if (--active == 0) done_cv.notify_all();
       }
     }
@@ -92,9 +111,9 @@ struct ThreadPool::Impl {
 
   /// Stops and joins the background threads. Safe with any subset of the
   /// requested threads actually spawned (partial construction).
-  void shutdown() {
+  void shutdown() SFS_EXCLUDES(mu) {
     {
-      std::lock_guard<std::mutex> lk(mu);
+      const MutexLock lk(mu);
       stop = true;
     }
     job_cv.notify_all();
@@ -142,9 +161,9 @@ void ThreadPool::parallel_for(
     return;
   }
 
-  std::lock_guard<std::mutex> call_lock(impl_->call_mu);
+  const MutexLock call_lock(impl_->call_mu);
   {
-    std::lock_guard<std::mutex> lk(impl_->mu);
+    const MutexLock lk(impl_->mu);
     impl_->fn = &fn;
     impl_->count = count;
     impl_->next.store(0, std::memory_order_relaxed);
@@ -155,12 +174,12 @@ void ThreadPool::parallel_for(
   }
   impl_->job_cv.notify_all();
 
-  impl_->run_tasks(0);  // the caller is worker 0
+  impl_->run_tasks(0, fn, count);  // the caller is worker 0
 
   std::exception_ptr err;
   {
-    std::unique_lock<std::mutex> lk(impl_->mu);
-    impl_->done_cv.wait(lk, [&] { return impl_->active == 0; });
+    const MutexLock lk(impl_->mu);
+    while (impl_->active != 0) impl_->mu.wait(impl_->done_cv);
     err = impl_->error;
     impl_->error = nullptr;
     impl_->fn = nullptr;
@@ -193,4 +212,4 @@ std::size_t resolve_worker_count(std::size_t threads) {
   return threads == 0 ? shared_pool().worker_count() : threads;
 }
 
-}  // namespace sfs::sim
+}  // namespace sfs::base

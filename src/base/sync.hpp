@@ -1,0 +1,68 @@
+// Capability-annotated synchronization primitives.
+//
+// libstdc++'s std::mutex carries no thread-safety attributes, so
+// annotating a member SFS_GUARDED_BY(mu) over a raw std::mutex would
+// make clang's analysis report every access as unguarded (it never sees
+// an acquire). This header wraps the std primitives in the thinnest
+// possible annotated shells — the standard workaround every annotated
+// codebase ships (abseil's Mutex, chromium's base::Lock). All locking in
+// src/ goes through these types; the analyze CI job builds the tree with
+// -Wthread-safety promoted to an error, so a guarded member touched
+// without its mutex is a compile failure, not a TSan lottery ticket.
+//
+// Condition variables: Mutex is a BasicLockable (annotated lock/unlock),
+// so std::condition_variable_any waits on it directly. Use the
+// Mutex::wait member — its SFS_REQUIRES(this) annotation makes "you must
+// hold the mutex to wait on it" a compile-time contract — and re-check
+// the predicate in a while loop at the call site (plain condvar
+// discipline; the predicate reads guarded state, which the analysis then
+// verifies happens under the lock).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "base/thread_annotations.hpp"
+
+namespace sfs::base {
+
+/// Annotated std::mutex. Non-recursive, non-copyable.
+class SFS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SFS_ACQUIRE() { mu_.lock(); }
+  void unlock() SFS_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() SFS_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+  /// Atomically releases this mutex, blocks on `cv`, and reacquires the
+  /// mutex before returning. The caller must hold the mutex and must
+  /// re-check its predicate afterwards (spurious wakeups).
+  void wait(std::condition_variable_any& cv) SFS_REQUIRES(this) {
+    cv.wait(*this);
+  }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Annotated scoped lock over Mutex (the lock_guard shape; no deferred /
+/// adoptable modes — the tree does not need them, and fewer modes means
+/// fewer annotation states the analysis must model).
+class SFS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SFS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() SFS_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace sfs::base

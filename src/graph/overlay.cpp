@@ -26,7 +26,7 @@ std::uint64_t Overlay::join_mass(VertexId v) {
   SFS_REQUIRE(v < alive_.size(), "Overlay::join_mass: vertex id out of range");
   if (sampler_kind_ == OverlaySampler::kBucketed) return live_mass_.weight(v);
   if (bag_dirty_) rebuild_bag();
-  const auto& bag = scratch_.pref_bag;
+  const auto& bag = pref_bag_;
   return static_cast<std::uint64_t>(std::count(bag.begin(), bag.end(), v));
 }
 
@@ -53,7 +53,7 @@ void Overlay::rebuild_bag() {
   // Weight live_degree(v) + 1 per live vertex, laid out in id order (and
   // slot order within a vertex) so the bag — hence every join draw — is a
   // pure function of the overlay state.
-  auto& bag = scratch_.pref_bag;
+  auto& bag = pref_bag_;
   bag.clear();
   for (std::size_t vi = 0; vi < alive_.size(); ++vi) {
     const auto v = static_cast<VertexId>(vi);
@@ -86,12 +86,12 @@ VertexId Overlay::join(std::size_t attach, rng::Rng& rng) {
   const auto v = static_cast<VertexId>(alive_.size());
   // Draw the targets first, then add the new vertex's own mass: a peer
   // cannot attach to itself on arrival.
-  scratch_.targets.clear();
+  targets_.clear();
   if (sampler_kind_ == OverlaySampler::kBucketed) {
     SFS_CHECK(live_mass_.total_weight() > 0,
               "live mass empty despite live peers");
     for (std::size_t i = 0; i < attach; ++i) {
-      scratch_.targets.push_back(
+      targets_.push_back(
           static_cast<VertexId>(live_mass_.sample(rng)));
     }
     alive_.push_back(1u);
@@ -101,23 +101,23 @@ VertexId Overlay::join(std::size_t attach, rng::Rng& rng) {
     // target is live by construction); each target gains one unit.
     const std::size_t id = live_mass_.push_back(attach + 1);
     SFS_CHECK(id == v, "live mass ids out of sync with vertex ids");
-    for (const VertexId t : scratch_.targets) {
+    for (const VertexId t : targets_) {
       staged_edges_.push_back(Edge{v, t});
       live_mass_.add(t, 1);
     }
   } else {
     if (bag_dirty_) rebuild_bag();
-    auto& bag = scratch_.pref_bag;
+    auto& bag = pref_bag_;
     SFS_CHECK(!bag.empty(), "live bag empty despite live peers");
     for (std::size_t i = 0; i < attach; ++i) {
-      scratch_.targets.push_back(
+      targets_.push_back(
           bag[static_cast<std::size_t>(rng.uniform_index(bag.size()))]);
     }
     alive_.push_back(1u);
     ++num_alive_;
     ++staged_vertices_;
     bag.push_back(v);  // baseline entry of the newcomer
-    for (const VertexId t : scratch_.targets) {
+    for (const VertexId t : targets_) {
       staged_edges_.push_back(Edge{v, t});
       bag.push_back(v);
       bag.push_back(t);
@@ -191,7 +191,7 @@ void Overlay::fail_edge(EdgeId e) {
 }
 
 void Overlay::compact() {
-  GraphBuilder& builder = scratch_.builder;
+  GraphBuilder& builder = builder_;
   builder.reset(alive_.size());
   builder.reserve_edges(graph_.num_edges() + staged_edges_.size());
   for (std::size_t ei = 0; ei < graph_.num_edges(); ++ei) {

@@ -13,9 +13,8 @@
 //    OverlaySampler below): the default rng::BucketedSampler maintains the
 //    live mass incrementally through every mutation — O(1) per join
 //    target, departure slot and edge failure — while the legacy bag mode
-//    reproduces the PR 6 repeat-array draws (id-ordered bag in an internal
-//    gen::GenScratch, lazily rebuilt in O(n + m) after any departure or
-//    edge failure). Joined vertices and their edges are STAGED: they
+//    reproduces the PR 6 repeat-array draws (an internal id-ordered bag,
+//    lazily rebuilt in O(n + m) after any departure or edge failure). Joined vertices and their edges are STAGED: they
 //    receive final ids immediately but enter the CSR snapshot only at the
 //    next compaction.
 //
@@ -50,14 +49,17 @@
 // Threading: an Overlay is a single-writer object; mutations must not race
 // reads. The read side (snapshot + masks) is safe to share across search
 // workers between mutations, which is exactly the batch contract
-// QueryEngine enforces via the epoch check.
+// QueryEngine enforces via the epoch check. Because the contract is
+// "externally serialized", the class carries no mutex and no capability
+// annotations — see docs/ANALYSIS.md ("Capability annotations") for the
+// per-class lock-ownership table this fits into.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
-#include "gen/scratch.hpp"
+#include "graph/builder.hpp"
 #include "graph/graph.hpp"
 #include "rng/discrete.hpp"
 #include "rng/random.hpp"
@@ -198,11 +200,17 @@ class Overlay {
   std::uint64_t epoch_ = 1;
   std::size_t compactions_ = 0;
 
-  /// Builder + CSR recycling and (kBag mode) the preferential-attachment
-  /// bag (scratch_.pref_bag). The bag holds live_degree(v) + 1 entries per
-  /// live vertex; joins append to it incrementally, departures and edge
-  /// failures mark it dirty for a lazy rebuild.
-  gen::GenScratch scratch_;
+  /// Edge-log + CSR packing scratch recycled across compactions. Owned
+  /// directly (not via gen::GenScratch): graph/ sits below gen/ in the
+  /// include-layering DAG (sfs_lint R8), and the overlay needs only the
+  /// builder and the two vectors below, not the full generator arena.
+  GraphBuilder builder_;
+  /// kBag mode: the preferential-attachment bag — live_degree(v) + 1
+  /// entries per live vertex, id-ordered. Joins append incrementally;
+  /// departures and edge failures mark it dirty for a lazy rebuild.
+  std::vector<VertexId> pref_bag_;
+  /// join() target staging buffer (reused across calls).
+  std::vector<VertexId> targets_;
   bool bag_dirty_ = true;
 
   /// kBucketed mode: the live mass as explicit per-vertex weights,

@@ -3,23 +3,27 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
-#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
 #include <vector>
 
+#include "base/sync.hpp"
+#include "base/thread_annotations.hpp"
 #include "rng/random.hpp"
 
 namespace sfs::rng {
 
 struct StreamAudit::Impl {
   std::atomic<bool> enabled{false};
-  mutable std::mutex mutex;
+  mutable base::Mutex mutex;
   // derived seed -> the triple that produced it. One entry per distinct
-  // derivation; collisions are detected at insertion.
-  std::unordered_map<std::uint64_t, StreamTriple> derivations;
+  // derivation; collisions are detected at insertion. Harness workers
+  // record concurrently — the capability annotation makes "only under
+  // mutex" a compile-time property of every access below.
+  std::unordered_map<std::uint64_t, StreamTriple> derivations
+      SFS_GUARDED_BY(mutex);
 };
 
 namespace {
@@ -52,12 +56,12 @@ void StreamAudit::set_enabled(bool on) noexcept {
 }
 
 void StreamAudit::reset() {
-  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const base::MutexLock lock(impl_->mutex);
   impl_->derivations.clear();
 }
 
 void StreamAudit::record(const StreamTriple& triple, std::uint64_t derived) {
-  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const base::MutexLock lock(impl_->mutex);
   const auto [it, inserted] = impl_->derivations.emplace(derived, triple);
   if (inserted || it->second == triple) return;
   std::ostringstream os;
@@ -71,14 +75,14 @@ void StreamAudit::record(const StreamTriple& triple, std::uint64_t derived) {
 }
 
 std::size_t StreamAudit::recorded_count() const {
-  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const base::MutexLock lock(impl_->mutex);
   return impl_->derivations.size();
 }
 
 void StreamAudit::dump(std::ostream& out) const {
   std::vector<std::pair<std::uint64_t, StreamTriple>> rows;
   {
-    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    const base::MutexLock lock(impl_->mutex);
     rows.assign(impl_->derivations.begin(), impl_->derivations.end());
   }
   std::sort(rows.begin(), rows.end(),

@@ -24,6 +24,12 @@
 // audit sees only derivations actually performed in this process — a
 // checkpoint-resumed sweep derives seeds just for the cells it computes,
 // so cells restored from the checkpoint are not re-checked.
+//
+// Threading: record() is called concurrently by replication workers; the
+// collision table lives behind a base::Mutex with the guarded-by
+// capability annotation checked in CI (docs/ANALYSIS.md, "Capability
+// annotations"). The enable flag is a relaxed atomic read on the fast
+// path.
 #pragma once
 
 #include <cstdint>

@@ -5,10 +5,10 @@
 #include <string>
 
 #include "base/check.hpp"
+#include "base/parallel.hpp"
 #include "graph/overlay.hpp"
 #include "search/drive.hpp"
-#include "sim/parallel.hpp"
-#include "sim/worker_context.hpp"
+#include "search/local_view.hpp"
 
 namespace sfs::search {
 
@@ -29,7 +29,11 @@ const std::uint64_t kQueryStream = rng::mix64(0x10e57ULL);  // "lookup query"
 struct QueryEngine::Lane {
   std::unique_ptr<WeakSearcher> weak;      // set iff model == kWeak
   std::unique_ptr<StrongSearcher> strong;  // set iff model == kStrong
-  sim::WorkerContext ctx;
+  /// Per-lane search scratch (stamp arrays, frontier). Owned directly —
+  /// search/ sits below sim/ in the include-layering DAG (sfs_lint R8),
+  /// so a Lane cannot carry a sim::WorkerContext; the engine only ever
+  /// used its workspace member anyway.
+  SearchWorkspace workspace;
   /// Per-query engine; reseeded before each search. A member (not a drive
   /// local) because the suspended drive borrows it across step() calls.
   rng::Rng rng{0};
@@ -144,7 +148,7 @@ void QueryEngine::run_batch(std::span<const Query> queries,
   }
   if (queries.empty()) return;
 
-  ensure_sessions(sim::resolve_worker_count(threads));
+  ensure_sessions(base::resolve_worker_count(threads));
   // Epoch contract: the overlay must hold still for the whole batch.
   const std::uint64_t epoch_at_start =
       overlay_ != nullptr ? overlay_->epoch() : 0;
@@ -161,7 +165,7 @@ void QueryEngine::run_batch(std::span<const Query> queries,
   // and replayable for a fixed batch.
   const std::size_t width = options_.interleave;
   const std::size_t blocks = (queries.size() + width - 1) / width;
-  sim::parallel_for(blocks, threads, [&](std::size_t b, std::size_t worker) {
+  base::parallel_for(blocks, threads, [&](std::size_t b, std::size_t worker) {
     Session& session = *sessions_[worker];
     const std::size_t lo = b * width;
     const std::size_t count = std::min(width, queries.size() - lo);
@@ -173,7 +177,7 @@ void QueryEngine::run_batch(std::span<const Query> queries,
       lane.weak_drive.reset();
       lane.strong_drive.reset();
       lane.view.emplace(*graph_, spec_->model, q.start, q.target,
-                        lane.ctx.workspace, liveness);
+                        lane.workspace, liveness);
       if (weak) {
         lane.weak_drive.emplace(*lane.view, *lane.weak, lane.rng,
                                 options_.budget, options_.retry);

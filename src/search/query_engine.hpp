@@ -10,7 +10,7 @@
 //
 // A QueryEngine owns the per-session state for that regime: it binds to
 // one graph and one registered policy (search/policy.hpp), keeps one
-// searcher instance + SearchWorkspace per worker (sim::WorkerContext), and
+// searcher instance + SearchWorkspace per worker, and
 // runs query batches with deterministic per-query RNG streams:
 //
 //   query i of a batch draws its randomness from
@@ -48,6 +48,14 @@
 //   * staged joins must be committed (Overlay::compact /
 //     maybe_compact) before serving — queries cannot route to a peer the
 //     CSR snapshot has never seen.
+//
+// Threading: a QueryEngine is externally serialized — run_batch must not
+// race itself or any other member call. Inside a batch, worker w touches
+// only sessions_[w] (lanes, workspaces, RNGs), so no engine state is ever
+// shared between two workers and the class carries no mutex and no
+// capability annotations; the session/epoch bookkeeping above is the
+// whole concurrency contract. See docs/ANALYSIS.md ("Capability
+// annotations") for the per-class lock-ownership table.
 #pragma once
 
 #include <cstdint>
@@ -174,7 +182,7 @@ class QueryEngine {
   const PolicySpec* spec_;
   QueryEngineOptions options_;
   /// One session per worker index, holding options.interleave lanes (each
-  /// a searcher instance + WorkerContext + drive slot), grown on demand
+  /// a searcher instance + SearchWorkspace + drive slot), grown on demand
   /// and reused across batches: steady-state batches allocate nothing in
   /// the engine itself.
   std::vector<std::unique_ptr<Session>> sessions_;

@@ -40,6 +40,13 @@ class WallTimer {
 /// and, when a JSONL sink is open (--json <path>), the bare object line to
 /// that file as well — so a perf pipeline can either grep the log or read
 /// the file, and the two never disagree.
+///
+/// Threading: single-writer. Only the driver thread emits — replication
+/// workers return values that the caller folds in index order and emits
+/// after the join (the bit-identity contract forbids emission from inside
+/// the fan-out anyway, since line order would then depend on scheduling).
+/// Hence no mutex and no capability annotations here; see docs/ANALYSIS.md
+/// ("Capability annotations").
 class ResultsEmitter {
  public:
   /// Emits to `console` (defaults to std::cout); no JSONL file.

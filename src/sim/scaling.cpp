@@ -5,12 +5,13 @@
 #include <fstream>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <utility>
 
 #include "base/check.hpp"
+#include "base/sync.hpp"
+#include "base/thread_annotations.hpp"
 #include "rng/random.hpp"
 #include "rng/stream_audit.hpp"
 #include "sim/csv.hpp"
@@ -190,7 +191,7 @@ class CheckpointWriter {
   }
 
   void append(std::size_t i, std::size_t n, std::size_t rep, double value) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const base::MutexLock lock(mutex_);
     write_csv_row(out_, {std::to_string(i), std::to_string(n),
                          std::to_string(rep), format_value(value), kCkptEnd});
     out_.flush();  // whole rows only: a crash tears at most the last line
@@ -203,9 +204,12 @@ class CheckpointWriter {
   }
 
  private:
-  std::ofstream out_;
+  // The stream is written by the constructor (thread-safety analysis
+  // exempts constructors — the object is not yet shared) and then only
+  // through append(), under mutex_.
+  base::Mutex mutex_;
+  std::ofstream out_ SFS_GUARDED_BY(mutex_);
   std::string path_;
-  std::mutex mutex_;
 };
 
 // ------------------------------------------------------------------ fold

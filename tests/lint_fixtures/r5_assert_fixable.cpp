@@ -1,0 +1,11 @@
+// SFS_LINT_FIXTURE_PATH: src/graph/fixture_assert_fixable.cpp
+// Fixture: a release-compiled-out assert that --fix must mechanically
+// rewrite into SFS_CHECK (inserting the base/check.hpp include), after
+// which the file lints clean (asserted by --self-test).
+#include <cassert>
+#include <cstddef>
+
+int fixture(int n) {
+  assert(n >= 0);
+  return n + static_cast<int>(sizeof(std::size_t));
+}

@@ -1,0 +1,22 @@
+// SFS_LINT_FIXTURE_PATH: src/sim/fixture_float_clean.cpp
+// Fixture: the disciplined version of the float-order twin — a left
+// fold (std::accumulate) over ordered ranges only.  Identical math,
+// byte-stable artifacts.
+#include <map>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "sim/report.hpp"
+
+double fixture(sfs::sim::ResultsEmitter& emitter) {
+  std::map<std::string, double> weights;
+  weights["bfs"] = 1.0;
+  const std::vector<double> costs{1.0, 2.0, 3.0};
+  const double a = std::accumulate(costs.begin(), costs.end(), 0.0);
+  const double b = std::accumulate(
+      weights.begin(), weights.end(), 0.0,
+      [](double acc, const auto& kv) { return acc + kv.second; });
+  emitter.emit_object("{\"total\":" + std::to_string(a + b) + "}");
+  return a + b;
+}

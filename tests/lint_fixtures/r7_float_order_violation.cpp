@@ -1,0 +1,26 @@
+// SFS_LINT_FIXTURE_PATH: src/sim/fixture_float.cpp
+// Fixture: unordered floating-point accumulation in an emitter TU.
+// std::reduce leaves the FP reduction order unspecified, and
+// std::accumulate over an unordered container sums in hash order —
+// either one makes the emitted BENCH_JSON bytes implementation-defined.
+#include <numeric>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/report.hpp"
+
+double add_kv(double acc, const std::pair<const std::string, double>& kv) {
+  return acc + kv.second;
+}
+
+double fixture(sfs::sim::ResultsEmitter& emitter) {
+  std::unordered_map<std::string, double> weights;
+  weights["bfs"] = 1.0;
+  const std::vector<double> costs{1.0, 2.0, 3.0};
+  const double a = std::reduce(costs.begin(), costs.end(), 0.0);
+  const double b = std::accumulate(weights.begin(), weights.end(), 0.0, add_kv);
+  emitter.emit_object("{\"total\":" + std::to_string(a + b) + "}");
+  return a + b;
+}

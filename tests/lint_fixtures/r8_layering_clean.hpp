@@ -1,0 +1,10 @@
+// SFS_LINT_FIXTURE_PATH: src/search/fixture_layering_clean.hpp
+// Fixture: a search/ header including only from layers at or below its
+// own (base 0, graph 2, rng 1, search 5), in sorted order — exactly the
+// shape the layering rule wants.
+#pragma once
+
+#include "base/check.hpp"
+#include "graph/graph.hpp"
+#include "rng/random.hpp"
+#include "search/policy.hpp"

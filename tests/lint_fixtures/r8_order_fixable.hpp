@@ -1,0 +1,9 @@
+// SFS_LINT_FIXTURE_PATH: src/search/fixture_order_fixable.hpp
+// Fixture: a pure ordering violation — every include points down the
+// DAG, only the sort is wrong, so sfs_lint --fix must restore order and
+// the result must lint clean (asserted by --self-test).
+#pragma once
+
+#include "rng/random.hpp"
+#include "graph/graph.hpp"
+#include "base/check.hpp"

@@ -7,7 +7,7 @@
 #include <stdexcept>
 #include <string>
 
-#include "core/check.hpp"
+#include "base/check.hpp"
 
 int fixture(int fd, const std::string& path) {
   SFS_REQUIRE(!path.empty(), "snapshot path must be non-empty");

@@ -15,10 +15,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "base/sync.hpp"
 #include "gen/mori.hpp"
 #include "sim/sweep.hpp"
 
@@ -151,13 +151,13 @@ TEST(SweepPairedDesign, EveryPolicySeesTheIdenticalGraphSequence) {
   // ALL policies. The factory must run exactly `reps` times (NOT
   // reps x policies), and the graph RNG sequence must not depend on which
   // policies are selected.
-  std::mutex mu;
+  sfs::base::Mutex mu;
   std::vector<std::uint64_t> first_draws;
   std::atomic<std::size_t> calls{0};
   const auto recording_factory = [&](Rng& rng) {
     calls.fetch_add(1);
     Graph g = sfs::gen::mori_tree(60, sfs::gen::MoriParams{0.5}, rng);
-    const std::lock_guard<std::mutex> lock(mu);
+    const sfs::base::MutexLock lock(mu);
     first_draws.push_back(rng.u64());
     return g;
   };
